@@ -1,0 +1,343 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4), plus the ablations and scale microbenches from
+// DESIGN.md. Latency benchmarks report the simulated statistics through
+// b.ReportMetric (avg-ns, avedev-ns, min-ns, max-ns), so `go test
+// -bench=Table1` prints the Table 1 cells; wall-clock ns/op measures the
+// cost of the simulation itself, not the latency being simulated.
+package drcom
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/ldap"
+	"repro/internal/osgi"
+	"repro/internal/policy"
+	"repro/internal/rtos"
+	"repro/internal/workload"
+)
+
+const benchSamples = 20000
+
+func reportRow(b *testing.B, res workload.LatencyResult) {
+	b.ReportMetric(res.Row.Average, "avg-ns")
+	b.ReportMetric(res.Row.AveDev, "avedev-ns")
+	b.ReportMetric(float64(res.Row.Min), "min-ns")
+	b.ReportMetric(float64(res.Row.Max), "max-ns")
+}
+
+func benchLatency(b *testing.B, cfg workload.LatencyConfig) {
+	b.Helper()
+	var last workload.LatencyResult
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		cfg.Samples = benchSamples
+		res, err := workload.RunLatency(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportRow(b, last)
+}
+
+// Table 1 — the paper's latency test, one benchmark per row.
+
+func BenchmarkTable1_HRC_Light(b *testing.B) {
+	benchLatency(b, workload.LatencyConfig{Hybrid: true, Mode: rtos.LightLoad})
+}
+
+func BenchmarkTable1_PureRTAI_Light(b *testing.B) {
+	benchLatency(b, workload.LatencyConfig{Hybrid: false, Mode: rtos.LightLoad})
+}
+
+func BenchmarkTable1_HRC_Stress(b *testing.B) {
+	benchLatency(b, workload.LatencyConfig{Hybrid: true, Mode: rtos.StressLoad})
+}
+
+func BenchmarkTable1_PureRTAI_Stress(b *testing.B) {
+	benchLatency(b, workload.LatencyConfig{Hybrid: false, Mode: rtos.StressLoad})
+}
+
+// §4.3 — dynamicity: the cost of the DRCR's reaction to change.
+
+// BenchmarkDynamicity_DeployActivate measures deploy → resolve → admit →
+// activate for one component with a satisfied dependency.
+func BenchmarkDynamicity_DeployActivate(b *testing.B) {
+	sys, err := NewSystem(Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.DeployXML(workload.CalcXML); err != nil {
+		b.Fatal(err)
+	}
+	desc, err := descriptor.Parse(workload.DisplayXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.DRCR().Deploy(desc); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := sys.Remove("disp"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkDynamicity_Cascade measures provider removal plus the cascade
+// deactivation of its dependant and the re-resolution pass.
+func BenchmarkDynamicity_Cascade(b *testing.B) {
+	sys, err := NewSystem(Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	calcDesc, err := descriptor.Parse(workload.CalcXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.DeployXML(workload.DisplayXML); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := sys.DRCR().Deploy(calcDesc); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := sys.Remove("calc"); err != nil { // cascades disp down
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 1 — lifecycle transitions driven through the external API.
+func BenchmarkFigure1_EnableDisable(b *testing.B) {
+	sys, err := NewSystem(Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.DeployXML(workload.CalcXML); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Disable("calc"); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Enable("calc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 2 — descriptor parsing and validation.
+func BenchmarkFigure2_ParseDescriptor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := descriptor.Parse(workload.CalcXML); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 3 — the split-container bridge: one asynchronous management
+// command (send, RT-side poll, management-side readback).
+func BenchmarkFigure3_HRCBridgeCommand(b *testing.B) {
+	sys, err := NewSystem(Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.DeployXML(workload.CalcXML); err != nil {
+		b.Fatal(err)
+	}
+	mgmt, ok := sys.Management("calc")
+	if !ok {
+		b.Fatal("no management service")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mgmt.SetProperty("p", "v"); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(2 * time.Millisecond); err != nil { // RT side polls
+			b.Fatal(err)
+		}
+		if _, ok := mgmt.Property("p"); !ok {
+			b.Fatal("property lost")
+		}
+	}
+}
+
+// Ablation A — §3.2 intra-component communication design.
+func BenchmarkAblation_IntraCommSyncVsAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationIntraComm(uint64(i+1), 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[0].Latency.Max), "async-max-ns")
+			b.ReportMetric(float64(rows[1].Latency.Max), "sync-max-ns")
+		}
+	}
+}
+
+// Ablation B — central admission versus none.
+func BenchmarkAblation_AdmissionOnOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationAdmission(uint64(i+1), 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[0].Misses), "enforced-misses")
+			b.ReportMetric(float64(rows[1].Misses), "disabled-misses")
+		}
+	}
+}
+
+// Ablation C — resolver policy comparison on the crossover set.
+func BenchmarkAblation_ResolverPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationResolvers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Admitted), r.Policy+"-admitted")
+			}
+		}
+	}
+}
+
+// Ablation D — dispatcher discipline (FP vs EDF) on the crossover set.
+func BenchmarkAblation_SchedPolicyFPvsEDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationSchedPolicy(uint64(i+1), 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[0].Misses+rows[0].Skips), "fp-violations")
+			b.ReportMetric(float64(rows[1].Misses+rows[1].Skips), "edf-violations")
+		}
+	}
+}
+
+// Scale microbenches.
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("services-%d", n), func(b *testing.B) {
+			fw := osgi.NewFramework()
+			for i := 0; i < n; i++ {
+				if _, err := fw.RegisterService(
+					[]string{"bench.Service"},
+					struct{ v int }{i},
+					ldap.Properties{"idx": i},
+				); err != nil {
+					b.Fatal(err)
+				}
+			}
+			filter := ldap.MustParse(fmt.Sprintf("(idx=%d)", n/2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				refs := fw.ServiceReferences("bench.Service", filter)
+				if len(refs) != 1 {
+					b.Fatal("lookup failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkResolveScale(b *testing.B) {
+	for _, n := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("components-%d", n), func(b *testing.B) {
+			fw := osgi.NewFramework()
+			k := rtos.NewKernel(rtos.Config{Seed: 1})
+			d, err := core.New(fw, k, core.Options{Internal: policy.Static{AdmitAll: true}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			comps := make([]*descriptor.Component, n)
+			for i := 0; i < n; i++ {
+				src := fmt.Sprintf(`<component name="c%03d" type="aperiodic">
+				  <implementation bincode="x"/>
+				</component>`, i)
+				c, err := descriptor.Parse(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				comps[i] = c
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range comps {
+					if err := d.Deploy(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				for _, c := range comps {
+					if err := d.Remove(c.Name); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkLDAPFilterMatch(b *testing.B) {
+	f := ldap.MustParse("(&(objectClass=drcom.Management)(drcom.cpuusage<=0.5)(!(drcom.type=aperiodic)))")
+	props := ldap.Properties{
+		"objectClass":    []string{"drcom.Management"},
+		"drcom.cpuusage": 0.1,
+		"drcom.type":     "periodic",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Matches(props) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+// BenchmarkKernelThroughput measures simulated-event throughput: one
+// simulated second of a 1 kHz task per iteration.
+func BenchmarkKernelThroughput(b *testing.B) {
+	k := rtos.NewKernel(rtos.Config{Seed: 1})
+	task, err := k.CreateTask(rtos.TaskSpec{
+		Name: "tick", Type: rtos.Periodic, Period: time.Millisecond,
+		ExecTime: 30 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := task.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(k.Clock().Fired())/float64(b.N), "events/op")
+}

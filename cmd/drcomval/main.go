@@ -1,0 +1,143 @@
+// Command drcomval validates DRCom descriptor files: the design-time half
+// of the paper's contract checking. Component documents are parsed and
+// validated individually, then cross-checked for duplicate names and
+// port compatibility; application documents (the ADL extension) are
+// validated against the component descriptors given alongside them.
+//
+// Usage:
+//
+//	drcomval file.xml [file2.xml ...]
+//
+// Files whose root element is <application> are treated as architecture
+// descriptions; everything else must be a <component> descriptor. Exit
+// status is 0 when everything is valid, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/adl"
+	"repro/internal/descriptor"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: drcomval file.xml [file2.xml ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ok := true
+	var comps []*descriptor.Component
+	type appFile struct {
+		path string
+		app  *adl.Application
+	}
+	var apps []appFile
+	seen := map[string]string{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		src := string(data)
+		if isApplication(src) {
+			app, err := adl.Parse(src)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				ok = false
+				continue
+			}
+			apps = append(apps, appFile{path: path, app: app})
+			continue
+		}
+		c, err := descriptor.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		if prev, dup := seen[c.Name]; dup {
+			fmt.Fprintf(os.Stderr, "%s: component name %q already used by %s\n", path, c.Name, prev)
+			ok = false
+			continue
+		}
+		seen[c.Name] = path
+		comps = append(comps, c)
+		fmt.Printf("%s: ok — component %q (%s, cpu %d, priority %d, budget %.0f%%)\n",
+			path, c.Name, c.Kind, c.CPU(), c.Priority(), c.CPUUsage*100)
+	}
+	// Cross-component check: every inport should have at least one
+	// compatible outport in the validated set (a warning, not an error —
+	// providers may come from other deployments).
+	for _, c := range comps {
+		for _, in := range c.InPorts {
+			if !hasProvider(comps, c.Name, in) {
+				fmt.Printf("warning: %s inport %q has no compatible outport in this set\n", c.Name, in.Name)
+			}
+		}
+	}
+	// Application documents are checked against the component set.
+	byName := map[string]*descriptor.Component{}
+	for _, c := range comps {
+		byName[c.Name] = c
+	}
+	for _, af := range apps {
+		problems := adl.Validate(af.app, byName)
+		fatal := false
+		for _, p := range problems {
+			level := "warning"
+			if p.Fatal {
+				level = "error"
+				fatal = true
+			}
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", af.path, level, p.Message)
+		}
+		if fatal {
+			ok = false
+			continue
+		}
+		order, err := adl.ActivationOrder(af.app, byName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", af.path, err)
+			ok = false
+			continue
+		}
+		fmt.Printf("%s: ok — application %q, activation order: %s\n",
+			af.path, af.app.Name, strings.Join(order, " -> "))
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// isApplication sniffs for an <application> root element.
+func isApplication(src string) bool {
+	if err := descriptor.Sniff(src); err == nil {
+		return false
+	}
+	_, err := adl.Parse(src)
+	return err == nil || strings.Contains(src, "<application")
+}
+
+func hasProvider(comps []*descriptor.Component, self string, in descriptor.Port) bool {
+	for _, p := range comps {
+		if p.Name == self {
+			continue
+		}
+		for _, out := range p.OutPorts {
+			if out.CanSatisfy(in) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+// Command drcr boots a complete DRCom system from descriptor files,
+// runs it for a span of simulated time, and reports what the DRCR did:
+// lifecycle events, the final component table, per-task latency rows, and
+// the admission view. It is the batch equivalent of the Equinox console
+// session the paper's prototype ran in.
+//
+// Component files deploy individually; at most one <application> file may
+// be given, in which case the component files are validated against it
+// and deployed in architecture order.
+//
+// Usage:
+//
+//	drcr [-cpus N] [-seed S] [-mode light|stress] [-run DUR] [-events] file.xml ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	drcom "repro"
+	"repro/internal/console"
+	"repro/internal/descriptor"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		cpus        = flag.Int("cpus", 2, "simulated processor count")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		mode        = flag.String("mode", "light", "load regime: light or stress")
+		runFor      = flag.Duration("run", time.Second, "simulated time to run")
+		events      = flag.Bool("events", false, "print the DRCR lifecycle event log")
+		interactive = flag.Bool("i", false, "after deployment, read console commands from stdin")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: drcr [flags] descriptor.xml ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 && !*interactive {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	loadMode := drcom.LightLoad
+	switch *mode {
+	case "light":
+	case "stress":
+		loadMode = drcom.StressLoad
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	sys, err := drcom.NewSystem(drcom.Config{NumCPUs: *cpus, Seed: *seed, Mode: loadMode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	var appSrc, appPath string
+	var componentSrcs []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		src := string(data)
+		if descriptor.Sniff(src) != nil && strings.Contains(src, "<application") {
+			if appSrc != "" {
+				log.Fatalf("%s: only one application file may be given", path)
+			}
+			appSrc, appPath = src, path
+			continue
+		}
+		componentSrcs = append(componentSrcs, src)
+	}
+	if appSrc != "" {
+		if err := sys.DeployApplication(appSrc, componentSrcs); err != nil {
+			log.Fatalf("%s: %v", appPath, err)
+		}
+		fmt.Printf("deployed application %s with %d components\n", appPath, len(componentSrcs))
+	} else {
+		for i, src := range componentSrcs {
+			if err := sys.DeployXML(src); err != nil {
+				log.Fatalf("%s: %v", flag.Args()[i], err)
+			}
+			fmt.Printf("deployed %s\n", flag.Args()[i])
+		}
+	}
+
+	if *interactive {
+		fmt.Println("drcr console — type help for commands, quit to exit")
+		if err := console.New(sys, os.Stdout).Run(os.Stdin); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("running %v of simulated time in %s mode...\n\n", *runFor, loadMode)
+	if err := sys.Run(*runFor); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("components:")
+	fmt.Printf("  %-8s %-11s %-9s %4s %4s %7s  %s\n", "name", "state", "kind", "cpu", "prio", "budget", "bindings")
+	for _, info := range sys.Components() {
+		fmt.Printf("  %-8s %-11v %-9s %4d %4d %6.0f%%  %v\n",
+			info.Name, info.State, info.Kind, info.CPU, info.Priority, info.CPUUsage*100, info.Bindings)
+	}
+
+	fmt.Println("\nadmission view:")
+	view := sys.GlobalView()
+	for cpuID := 0; cpuID < view.NumCPUs; cpuID++ {
+		var sum float64
+		for _, c := range view.OnCPU(cpuID) {
+			sum += c.CPUUsage
+		}
+		fmt.Printf("  cpu%d: %d contracts, %.0f%% declared budget\n", cpuID, len(view.OnCPU(cpuID)), sum*100)
+	}
+
+	fmt.Println("\nper-task scheduling latency (ns):")
+	var rows []metrics.Row
+	for _, task := range sys.Kernel().Tasks() {
+		rows = append(rows, task.Stats().Latency)
+	}
+	fmt.Print(metrics.FormatTable("", rows))
+
+	if *events {
+		fmt.Println("\nlifecycle events:")
+		for _, ev := range sys.Events() {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+}

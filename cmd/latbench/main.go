@@ -1,0 +1,167 @@
+// Command latbench regenerates the paper's evaluation: Table 1 (the
+// latency test in light and stress mode, for the pure-RTAI and the
+// declarative hybrid implementation), the latency distribution
+// histograms behind it, and the three design ablations documented in
+// DESIGN.md.
+//
+// Usage:
+//
+//	latbench [-samples N] [-seed S] [-table1] [-hist] [-ablations] [-all]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		samples   = flag.Int("samples", 60000, "latency samples per configuration")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		table1    = flag.Bool("table1", false, "run the Table 1 latency test")
+		hist      = flag.Bool("hist", false, "render latency distribution histograms")
+		ablations = flag.Bool("ablations", false, "run the design ablations")
+		gantt     = flag.Bool("gantt", false, "render a scheduler Gantt chart of the §4.2 pair")
+		dump      = flag.String("dump", "", "write raw HRC-light latency samples (ns) to this CSV file")
+		all       = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *hist, *ablations, *gantt = true, true, true, true
+	}
+	if !*table1 && !*hist && !*ablations && !*gantt && *dump == "" {
+		*table1 = true // default action
+	}
+
+	if *table1 {
+		runTable1(*samples, *seed)
+	}
+	if *hist {
+		runHistograms(*samples, *seed)
+	}
+	if *gantt {
+		runGantt(*seed)
+	}
+	if *dump != "" {
+		runDump(*dump, *samples, *seed)
+	}
+	if *ablations {
+		runAblations(*seed)
+	}
+}
+
+// runGantt traces 12 ms of the §4.2 pair plus an equal-priority rival to
+// show preemption, waiting, and round-robin in one picture.
+func runGantt(seed uint64) {
+	k := rtos.NewKernel(rtos.Config{Seed: seed})
+	tr := k.StartTrace(0)
+	specs := []rtos.TaskSpec{
+		{Name: "calc", Type: rtos.Periodic, Period: time.Millisecond, Priority: 1, ExecTime: 300 * time.Microsecond},
+		{Name: "disp", Type: rtos.Periodic, Period: 4 * time.Millisecond, Priority: 2, ExecTime: 900 * time.Microsecond},
+		{Name: "peer", Type: rtos.Periodic, Period: 4 * time.Millisecond, Priority: 2, ExecTime: 900 * time.Microsecond},
+	}
+	for _, spec := range specs {
+		task, err := k.CreateTask(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := task.Start(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := k.Run(12 * time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Scheduler trace (1 kHz calc preempting two equal-priority 4 ms tasks):")
+	fmt.Println(tr.Gantt(0, sim.Time(12*time.Millisecond), 96))
+}
+
+// runDump writes raw latency samples for external plotting.
+func runDump(path string, samples int, seed uint64) {
+	res, err := workload.RunLatency(workload.LatencyConfig{Hybrid: true, Samples: samples, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "sample,latency_ns")
+	for i, v := range res.Samples {
+		fmt.Fprintf(w, "%d,%d\n", i, v)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d samples to %s\n", len(res.Samples), path)
+}
+
+func runTable1(samples int, seed uint64) {
+	fmt.Printf("Running Table 1 with %d samples per configuration (seed %d)...\n\n", samples, seed)
+	out, rows, err := bench.Table1(samples, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	fmt.Println("Side by side with the published Table 1 (ns):")
+	fmt.Println(bench.CompareWithPaper(rows))
+}
+
+func runHistograms(samples int, seed uint64) {
+	if samples > 20000 {
+		samples = 20000 // histograms do not need the full run
+	}
+	for _, cfg := range []workload.LatencyConfig{
+		{Hybrid: true, Mode: rtos.LightLoad, Samples: samples, Seed: seed},
+		{Hybrid: true, Mode: rtos.StressLoad, Samples: samples, Seed: seed},
+	} {
+		out, err := bench.Histogram(cfg, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func runAblations(seed uint64) {
+	fmt.Println("Running ablations...")
+	a, err := bench.AblationIntraComm(seed, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatIntraComm(a))
+
+	b, err := bench.AblationAdmission(seed, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatAdmission(b))
+
+	c, err := bench.AblationResolvers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatResolvers(c))
+
+	d, err := bench.AblationSchedPolicy(seed, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatSchedPolicy(d))
+	os.Exit(0)
+}

@@ -1,0 +1,83 @@
+// Command quickstart is the smallest complete DRCom program: boot a
+// system, deploy one declarative real-time component, watch its Figure 1
+// lifecycle, drive it through the management interface, and read its
+// latency statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	drcom "repro"
+)
+
+const cameraXML = `<component name="camera" desc="smart camera controller" type="periodic" cpuusage="0.1">
+  <implementation bincode="ua.pats.demo.smartcamera.RTComponent"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+  <outport name="images" interface="RTAI.SHM" type="Byte" size="400"/>
+  <property name="prox00" type="Integer" value="6"/>
+</component>`
+
+func main() {
+	sys, err := drcom.NewSystem(drcom.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Print every lifecycle transition as it happens.
+	remove := sys.AddListener(func(ev drcom.Event) {
+		fmt.Printf("  lifecycle %s\n", ev)
+	})
+	defer remove()
+
+	fmt.Println("== deploying the Figure 2 smart-camera component")
+	if err := sys.DeployXML(cameraXML); err != nil {
+		log.Fatal(err)
+	}
+
+	info, _ := sys.Component("camera")
+	fmt.Printf("== state: %v (reason: %s)\n", info.State, info.LastReason)
+
+	fmt.Println("== running 1 simulated second at 100 Hz")
+	if err := sys.Run(time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	mgmt, ok := sys.Management("camera")
+	if !ok {
+		log.Fatal("management service missing")
+	}
+	st := mgmt.Status()
+	fmt.Printf("== status: %d jobs, %d misses, state %v\n", st.Jobs, st.Misses, st.TaskState)
+
+	fmt.Println("== reconfiguring through the management interface (async)")
+	if err := mgmt.SetProperty("prox00", "9"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(20 * time.Millisecond); err != nil { // next job polls the mailbox
+		log.Fatal(err)
+	}
+	v, _ := mgmt.Property("prox00")
+	fmt.Printf("== prox00 is now %s\n", v)
+
+	fmt.Println("== suspend / resume")
+	if err := sys.Suspend("camera"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(100 * time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Resume("camera"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(100 * time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	task, _ := sys.Kernel().Task("camera")
+	row := task.Stats().Latency
+	fmt.Printf("== scheduling latency: avg %.1f ns, avedev %.1f ns, min %d, max %d (n=%d)\n",
+		row.Average, row.AveDev, row.Min, row.Max, row.N)
+}

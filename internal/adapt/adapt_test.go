@@ -1,0 +1,263 @@
+package adapt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/osgi"
+	"repro/internal/policy"
+	"repro/internal/rtos"
+)
+
+var noNoise = rtos.TimingModel{}
+
+// rig builds a 1-CPU system with admission disabled, so overload is
+// possible and the adaptation manager has something to fix.
+func rig(t *testing.T) (*rtos.Kernel, *core.DRCR) {
+	t.Helper()
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{Timing: &noNoise, Seed: 21})
+	d, err := core.New(fw, k, core.Options{
+		Internal:   policy.Static{AdmitAll: true, Label: "open"},
+		ExecJitter: -1, // exact budgets
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return k, d
+}
+
+func comp(t *testing.T, name string, usage float64, prio, importance int) *descriptor.Component {
+	t.Helper()
+	src := fmt.Sprintf(`<component name="%s" type="periodic" cpuusage="%.2f" importance="%d">
+	  <implementation bincode="x"/>
+	  <periodictask frequence="100" runoncup="0" priority="%d"/>
+	</component>`, name, usage, importance, prio)
+	c, err := descriptor.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	_, d := rig(t)
+	if _, err := New(nil, &ImportanceShedding{}, time.Second); err == nil {
+		t.Fatal("nil drcr accepted")
+	}
+	if _, err := New(d, nil, time.Second); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := New(d, &ImportanceShedding{}, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestShedsLeastImportantUnderOverload(t *testing.T) {
+	k, d := rig(t)
+	// 130% load: the lowest-priority task misses its deadlines.
+	for _, c := range []*descriptor.Component{
+		comp(t, "vital", 0.50, 1, 3),
+		comp(t, "mid", 0.40, 2, 2),
+		comp(t, "extra", 0.40, 3, 1),
+	} {
+		if err := d.Deploy(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := New(d, &ImportanceShedding{HealthyChecks: 1000}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	if err := k.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The least-important component was shed; the important ones run.
+	if info, _ := d.Component("extra"); info.State != core.Suspended {
+		t.Fatalf("extra = %v, want SUSPENDED", info.State)
+	}
+	if info, _ := d.Component("vital"); info.State != core.Active {
+		t.Fatalf("vital = %v", info.State)
+	}
+	if info, _ := d.Component("mid"); info.State != core.Active {
+		t.Fatalf("mid = %v", info.State)
+	}
+	// After shedding, the remaining set is schedulable: no further misses.
+	vital, _ := k.Task("vital")
+	mid, _ := k.Task("mid")
+	vital.ResetStats()
+	mid.ResetStats()
+	if err := k.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if vital.Stats().Misses != 0 || mid.Stats().Misses != 0 {
+		t.Fatalf("post-shed misses: vital %d mid %d", vital.Stats().Misses, mid.Stats().Misses)
+	}
+	// The log names the action.
+	var suspends int
+	for _, a := range m.History() {
+		if a.Action.Kind == ActSuspend && a.Err == nil {
+			suspends++
+		}
+	}
+	if suspends == 0 {
+		t.Fatal("no suspend actions recorded")
+	}
+}
+
+func TestResumesWhenHealthy(t *testing.T) {
+	k, d := rig(t)
+	if err := d.Deploy(comp(t, "vital", 0.50, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(comp(t, "extra", 0.30, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Transient overload: a heavy guest pushes the system to 130%.
+	if err := d.Deploy(comp(t, "guest", 0.50, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// HealthyChecks is longer than the observation window below, so no
+	// resume can happen while the guest is still causing overload.
+	m, err := New(d, &ImportanceShedding{HealthyChecks: 5}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	if err := k.Run(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := d.Component("extra"); info.State != core.Suspended {
+		t.Fatalf("extra during overload = %v", info.State)
+	}
+	// The guest leaves; after five healthy checks the victim returns.
+	if err := d.Remove("guest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := d.Component("extra"); info.State != core.Active {
+		t.Fatalf("extra after recovery = %v", info.State)
+	}
+	var resumes int
+	for _, a := range m.History() {
+		if a.Action.Kind == ActResume && a.Err == nil {
+			resumes++
+		}
+	}
+	if resumes != 1 {
+		t.Fatalf("resumes = %d", resumes)
+	}
+}
+
+// scriptedPolicy replays a fixed action list once.
+type scriptedPolicy struct {
+	actions []Action
+	played  bool
+}
+
+func (s *scriptedPolicy) Name() string { return "scripted" }
+
+func (s *scriptedPolicy) Decide([]Health) []Action {
+	if s.played {
+		return nil
+	}
+	s.played = true
+	return s.actions
+}
+
+func TestSetPropertyAndDisableActions(t *testing.T) {
+	k, d := rig(t)
+	if err := d.Deploy(comp(t, "tgt", 0.10, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(comp(t, "off", 0.10, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	p := &scriptedPolicy{actions: []Action{
+		{Kind: ActSetProperty, Component: "tgt", Key: "rate", Value: "fast"},
+		{Kind: ActDisable, Component: "off"},
+		{Kind: ActSetProperty, Component: "ghost", Key: "a", Value: "b"}, // fails
+		{Kind: ActionKind(99), Component: "tgt"},                         // fails
+	}}
+	m, err := New(d, p, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := m.CheckNow()
+	if len(applied) != 4 {
+		t.Fatalf("applied = %d", len(applied))
+	}
+	if applied[0].Err != nil || applied[1].Err != nil {
+		t.Fatalf("valid actions failed: %v %v", applied[0].Err, applied[1].Err)
+	}
+	if applied[2].Err == nil || applied[3].Err == nil {
+		t.Fatal("invalid actions did not fail")
+	}
+	if err := k.Run(50 * time.Millisecond); err != nil { // property applied at job boundary
+		t.Fatal(err)
+	}
+	mgmt, _ := d.Management("tgt")
+	if v, _ := mgmt.Property("rate"); v != "fast" {
+		t.Fatalf("rate = %q", v)
+	}
+	if info, _ := d.Component("off"); info.State != core.Disabled {
+		t.Fatalf("off = %v", info.State)
+	}
+}
+
+func TestManagerStartStopIdempotent(t *testing.T) {
+	k, d := rig(t)
+	m, err := New(d, &ImportanceShedding{}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	m.Stop()
+	before := k.Clock().Pending()
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Clock().Pending(); got > before {
+		t.Fatalf("stopped manager still scheduling: %d pending", got)
+	}
+	if len(m.History()) != 0 {
+		t.Fatalf("history = %v", m.History())
+	}
+}
+
+func TestPickVictimOrdering(t *testing.T) {
+	mk := func(name string, imp int, usage float64, st core.State) Health {
+		return Health{Info: core.Info{Name: name, Importance: imp, CPUUsage: usage, State: st}}
+	}
+	snapshot := []Health{
+		mk("a", 2, 0.1, core.Active),
+		mk("b", 1, 0.1, core.Active),
+		mk("c", 1, 0.3, core.Active),
+		mk("d", 0, 0.9, core.Suspended), // not active: never a victim
+	}
+	if got := pickVictim(snapshot); got != "c" {
+		t.Fatalf("victim = %q, want c (lowest importance, biggest budget)", got)
+	}
+	if got := pickVictim(nil); got != "" {
+		t.Fatalf("victim of empty = %q", got)
+	}
+}

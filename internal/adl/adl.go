@@ -1,0 +1,337 @@
+// Package adl implements an application-level architecture description —
+// the direction the paper's §6 names ("We are working to integrate
+// certain Architecture Description Language into our DRCom"). An
+// application document declares which components form the application
+// and which outports feed which inports; the validator checks the
+// declared architecture against the component descriptors *before*
+// deployment, catching at design time what the DRCR would otherwise
+// discover at run time.
+//
+//	<application name="vision" desc="camera pipeline">
+//	  <member component="camera"/>
+//	  <member component="roisel"/>
+//	  <connection from="camera/frames" to="roisel/frames"/>
+//	</application>
+//
+// DRCom transports are bound by port name at run time (§2.3), so a valid
+// connection requires equal port names with compatible interface, type
+// and size; the validator also demands that every inport is fed by
+// exactly one connection and that the dependency graph is acyclic (the
+// DRCR's fixed-point activation can never bring up a dependency cycle).
+package adl
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+)
+
+// Endpoint names one port of one member, written "component/port".
+type Endpoint struct {
+	Component string
+	Port      string
+}
+
+// String renders the endpoint in source form.
+func (e Endpoint) String() string { return e.Component + "/" + e.Port }
+
+// ParseEndpoint parses "component/port".
+func ParseEndpoint(s string) (Endpoint, error) {
+	comp, port, ok := strings.Cut(strings.TrimSpace(s), "/")
+	if !ok || comp == "" || port == "" {
+		return Endpoint{}, fmt.Errorf("adl: endpoint %q must be component/port", s)
+	}
+	return Endpoint{Component: comp, Port: port}, nil
+}
+
+// Connection wires an outport to an inport.
+type Connection struct {
+	From Endpoint // producer (outport)
+	To   Endpoint // consumer (inport)
+}
+
+// Application is a parsed architecture description.
+type Application struct {
+	Name        string
+	Description string
+	Members     []string
+	Connections []Connection
+}
+
+type xmlApplication struct {
+	XMLName xml.Name `xml:"application"`
+	Name    string   `xml:"name,attr"`
+	Desc    string   `xml:"desc,attr"`
+	Members []struct {
+		Component string `xml:"component,attr"`
+	} `xml:"member"`
+	Connections []struct {
+		From string `xml:"from,attr"`
+		To   string `xml:"to,attr"`
+	} `xml:"connection"`
+}
+
+// Parse reads an application document.
+func Parse(src string) (*Application, error) {
+	var xa xmlApplication
+	if err := xml.Unmarshal([]byte(src), &xa); err != nil {
+		return nil, fmt.Errorf("adl: XML: %w", err)
+	}
+	if strings.TrimSpace(xa.Name) == "" {
+		return nil, errors.New("adl: application missing name")
+	}
+	app := &Application{Name: xa.Name, Description: xa.Desc}
+	seen := map[string]bool{}
+	for _, m := range xa.Members {
+		name := strings.TrimSpace(m.Component)
+		if name == "" {
+			return nil, fmt.Errorf("adl: application %s: member without component", xa.Name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("adl: application %s: duplicate member %q", xa.Name, name)
+		}
+		seen[name] = true
+		app.Members = append(app.Members, name)
+	}
+	if len(app.Members) == 0 {
+		return nil, fmt.Errorf("adl: application %s has no members", xa.Name)
+	}
+	for _, c := range xa.Connections {
+		from, err := ParseEndpoint(c.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := ParseEndpoint(c.To)
+		if err != nil {
+			return nil, err
+		}
+		app.Connections = append(app.Connections, Connection{From: from, To: to})
+	}
+	return app, nil
+}
+
+// Problem is one validation finding.
+type Problem struct {
+	// Fatal problems prevent deployment; non-fatal ones are advisory.
+	Fatal   bool
+	Message string
+}
+
+func fatalf(format string, args ...any) Problem {
+	return Problem{Fatal: true, Message: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the architecture against the member component
+// descriptors. It returns every problem found (fatal and advisory).
+func Validate(app *Application, comps map[string]*descriptor.Component) []Problem {
+	var problems []Problem
+	members := map[string]*descriptor.Component{}
+	for _, name := range app.Members {
+		c, ok := comps[name]
+		if !ok {
+			problems = append(problems, fatalf("member %q has no component descriptor", name))
+			continue
+		}
+		members[name] = c
+	}
+
+	findPort := func(e Endpoint, dir descriptor.Direction) (descriptor.Port, bool) {
+		c, ok := members[e.Component]
+		if !ok {
+			return descriptor.Port{}, false
+		}
+		ports := c.OutPorts
+		if dir == descriptor.In {
+			ports = c.InPorts
+		}
+		for _, p := range ports {
+			if p.Name == e.Port {
+				return p, true
+			}
+		}
+		return descriptor.Port{}, false
+	}
+
+	// Per-connection checks.
+	fed := map[string][]Connection{} // inport endpoint -> feeding connections
+	for _, conn := range app.Connections {
+		if _, isMember := members[conn.From.Component]; !isMember {
+			problems = append(problems, fatalf("connection %s -> %s: %q is not a member",
+				conn.From, conn.To, conn.From.Component))
+			continue
+		}
+		if _, isMember := members[conn.To.Component]; !isMember {
+			problems = append(problems, fatalf("connection %s -> %s: %q is not a member",
+				conn.From, conn.To, conn.To.Component))
+			continue
+		}
+		out, ok := findPort(conn.From, descriptor.Out)
+		if !ok {
+			problems = append(problems, fatalf("connection %s -> %s: no such outport", conn.From, conn.To))
+			continue
+		}
+		in, ok := findPort(conn.To, descriptor.In)
+		if !ok {
+			problems = append(problems, fatalf("connection %s -> %s: no such inport", conn.From, conn.To))
+			continue
+		}
+		if !out.CanSatisfy(in) {
+			problems = append(problems, fatalf(
+				"connection %s -> %s: incompatible ports (out %s/%v×%d vs in %s/%v×%d; DRCom binds by equal name, transport, type, and sufficient size)",
+				conn.From, conn.To,
+				out.Interface, out.Type, out.Size, in.Interface, in.Type, in.Size))
+			continue
+		}
+		fed[conn.To.String()] = append(fed[conn.To.String()], conn)
+	}
+
+	// Coverage: every inport of every member fed exactly once.
+	for _, name := range sortedNames(members) {
+		c := members[name]
+		for _, in := range c.InPorts {
+			key := Endpoint{Component: name, Port: in.Name}.String()
+			switch n := len(fed[key]); {
+			case n == 0:
+				problems = append(problems, fatalf("inport %s is not fed by any connection", key))
+			case n > 1:
+				problems = append(problems, fatalf("inport %s is fed by %d connections; DRCom ports have one producer", key, n))
+			}
+		}
+	}
+
+	// The DRCR activates consumers only after their providers: a cycle in
+	// the connection graph can never activate.
+	if cyc := findCycle(app, members); len(cyc) > 0 {
+		problems = append(problems, fatalf(
+			"dependency cycle %s: the DRCR's activation order cannot resolve cyclic port dependencies",
+			strings.Join(cyc, " -> ")))
+	}
+	return problems
+}
+
+func sortedNames(m map[string]*descriptor.Component) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// findCycle returns one dependency cycle (consumer -> provider edges), or
+// nil.
+func findCycle(app *Application, members map[string]*descriptor.Component) []string {
+	deps := map[string][]string{} // consumer -> providers
+	for _, conn := range app.Connections {
+		if _, ok := members[conn.From.Component]; !ok {
+			continue
+		}
+		if _, ok := members[conn.To.Component]; !ok {
+			continue
+		}
+		deps[conn.To.Component] = append(deps[conn.To.Component], conn.From.Component)
+	}
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var stack []string
+	var cycle []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		state[n] = inStack
+		stack = append(stack, n)
+		for _, p := range deps[n] {
+			switch state[p] {
+			case inStack:
+				// Cut the stack at the first occurrence of p.
+				for i, s := range stack {
+					if s == p {
+						cycle = append(append([]string{}, stack[i:]...), p)
+						return true
+					}
+				}
+			case unvisited:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n] = done
+		return false
+	}
+	for _, name := range app.Members {
+		if state[name] == unvisited {
+			if visit(name) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// ActivationOrder returns the members in a provider-before-consumer
+// order. It fails on cycles or missing descriptors.
+func ActivationOrder(app *Application, comps map[string]*descriptor.Component) ([]string, error) {
+	for _, p := range Validate(app, comps) {
+		if p.Fatal {
+			return nil, fmt.Errorf("adl: application %s invalid: %s", app.Name, p.Message)
+		}
+	}
+	deps := map[string]map[string]bool{}
+	for _, m := range app.Members {
+		deps[m] = map[string]bool{}
+	}
+	for _, conn := range app.Connections {
+		deps[conn.To.Component][conn.From.Component] = true
+	}
+	var order []string
+	placed := map[string]bool{}
+	for len(order) < len(app.Members) {
+		progressed := false
+		for _, m := range app.Members {
+			if placed[m] {
+				continue
+			}
+			ready := true
+			for p := range deps[m] {
+				if !placed[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				order = append(order, m)
+				placed[m] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("adl: application %s: no activation order (cycle)", app.Name)
+		}
+	}
+	return order, nil
+}
+
+// Deploy validates the application and deploys its members to the DRCR in
+// activation order.
+func Deploy(d *core.DRCR, app *Application, comps map[string]*descriptor.Component) error {
+	order, err := ActivationOrder(app, comps)
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		if err := d.Deploy(comps[name]); err != nil {
+			return fmt.Errorf("adl: deploying member %s: %w", name, err)
+		}
+	}
+	return nil
+}

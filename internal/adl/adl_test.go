@@ -1,0 +1,305 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/osgi"
+	"repro/internal/policy"
+	"repro/internal/rtos"
+)
+
+const appXML = `<application name="vision" desc="camera pipeline">
+  <member component="camera"/>
+  <member component="roisel"/>
+  <member component="panel"/>
+  <connection from="camera/frames" to="roisel/frames"/>
+  <connection from="roisel/roi" to="panel/roi"/>
+</application>`
+
+func comps(t *testing.T) map[string]*descriptor.Component {
+	t.Helper()
+	srcs := map[string]string{
+		"camera": `<component name="camera" type="periodic" cpuusage="0.1">
+		  <implementation bincode="x"/>
+		  <periodictask frequence="100" runoncup="0" priority="2"/>
+		  <outport name="frames" interface="RTAI.SHM" type="Byte" size="400"/>
+		</component>`,
+		"roisel": `<component name="roisel" type="periodic" cpuusage="0.05">
+		  <implementation bincode="x"/>
+		  <periodictask frequence="100" runoncup="0" priority="3"/>
+		  <inport name="frames" interface="RTAI.SHM" type="Byte" size="400"/>
+		  <outport name="roi" interface="RTAI.SHM" type="Integer" size="4"/>
+		</component>`,
+		"panel": `<component name="panel" type="periodic" cpuusage="0.01">
+		  <implementation bincode="x"/>
+		  <periodictask frequence="10" runoncup="0" priority="4"/>
+		  <inport name="roi" interface="RTAI.SHM" type="Integer" size="4"/>
+		</component>`,
+	}
+	out := map[string]*descriptor.Component{}
+	for name, src := range srcs {
+		c, err := descriptor.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = c
+	}
+	return out
+}
+
+func TestParseApplication(t *testing.T) {
+	app, err := Parse(appXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "vision" || len(app.Members) != 3 || len(app.Connections) != 2 {
+		t.Fatalf("app = %+v", app)
+	}
+	if app.Connections[0].From.String() != "camera/frames" {
+		t.Fatalf("conn0 = %v", app.Connections[0])
+	}
+}
+
+func TestParseApplicationErrors(t *testing.T) {
+	cases := []string{
+		`<<<`,
+		`<application/>`,          // no name
+		`<application name="a"/>`, // no members
+		`<application name="a"><member/></application>`,
+		`<application name="a"><member component="x"/><member component="x"/></application>`,
+		`<application name="a"><member component="x"/><connection from="bad" to="x/y"/></application>`,
+		`<application name="a"><member component="x"/><connection from="x/y" to="/"/></application>`,
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}
+
+func TestValidateCleanApplication(t *testing.T) {
+	app, err := Parse(appXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := Validate(app, comps(t)); len(problems) != 0 {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestValidateFindings(t *testing.T) {
+	base := comps(t)
+	cases := []struct {
+		name string
+		app  string
+		want string
+	}{
+		{
+			"missing descriptor",
+			`<application name="a"><member component="ghost"/></application>`,
+			"no component descriptor",
+		},
+		{
+			"non-member endpoint",
+			`<application name="a"><member component="camera"/><connection from="ghost/p" to="camera/frames"/></application>`,
+			"is not a member",
+		},
+		{
+			"no such outport",
+			`<application name="a"><member component="camera"/><member component="roisel"/><connection from="camera/nope" to="roisel/frames"/></application>`,
+			"no such outport",
+		},
+		{
+			"no such inport",
+			`<application name="a"><member component="camera"/><member component="roisel"/><connection from="camera/frames" to="roisel/nope"/></application>`,
+			"no such inport",
+		},
+		{
+			"unfed inport",
+			`<application name="a"><member component="camera"/><member component="roisel"/></application>`,
+			"not fed",
+		},
+	}
+	for _, c := range cases {
+		app, err := Parse(c.app)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		problems := Validate(app, base)
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p.Message, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: problems %v missing %q", c.name, problems, c.want)
+		}
+	}
+}
+
+func TestValidateIncompatiblePorts(t *testing.T) {
+	base := comps(t)
+	// A consumer demanding more than the producer offers.
+	big, err := descriptor.Parse(`<component name="bigc" type="periodic" cpuusage="0.01">
+	  <implementation bincode="x"/>
+	  <periodictask frequence="10" runoncup="0" priority="5"/>
+	  <inport name="frames" interface="RTAI.SHM" type="Byte" size="800"/>
+	</component>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base["bigc"] = big
+	app, err := Parse(`<application name="a">
+	  <member component="camera"/><member component="bigc"/>
+	  <connection from="camera/frames" to="bigc/frames"/>
+	</application>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := Validate(app, base)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Message, "incompatible") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestValidateDoubleFeed(t *testing.T) {
+	base := comps(t)
+	second, err := descriptor.Parse(`<component name="cam2" type="periodic" cpuusage="0.1">
+	  <implementation bincode="x"/>
+	  <periodictask frequence="100" runoncup="0" priority="2"/>
+	  <outport name="frames" interface="RTAI.SHM" type="Byte" size="400"/>
+	</component>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base["cam2"] = second
+	app, err := Parse(`<application name="a">
+	  <member component="camera"/><member component="cam2"/><member component="roisel"/>
+	  <connection from="camera/frames" to="roisel/frames"/>
+	  <connection from="cam2/frames" to="roisel/frames"/>
+	</application>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := Validate(app, base)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Message, "one producer") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	mk := func(name, inPort, outPort string) *descriptor.Component {
+		c, err := descriptor.Parse(`<component name="` + name + `" type="periodic" cpuusage="0.01">
+		  <implementation bincode="x"/>
+		  <periodictask frequence="10" runoncup="0" priority="5"/>
+		  <inport name="` + inPort + `" interface="RTAI.SHM" type="Byte" size="4"/>
+		  <outport name="` + outPort + `" interface="RTAI.SHM" type="Byte" size="4"/>
+		</component>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	base := map[string]*descriptor.Component{
+		"aa": mk("aa", "pb", "pa"),
+		"bb": mk("bb", "pa", "pb"),
+	}
+	app, err := Parse(`<application name="loop">
+	  <member component="aa"/><member component="bb"/>
+	  <connection from="aa/pa" to="bb/pa"/>
+	  <connection from="bb/pb" to="aa/pb"/>
+	</application>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := Validate(app, base)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Message, "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems = %v", problems)
+	}
+	if _, err := ActivationOrder(app, base); err == nil {
+		t.Fatal("cycle got an activation order")
+	}
+}
+
+func TestActivationOrder(t *testing.T) {
+	app, err := Parse(appXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := ActivationOrder(app, comps(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["camera"] > pos["roisel"] || pos["roisel"] > pos["panel"] {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeployApplication(t *testing.T) {
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{Seed: 1})
+	d, err := core.New(fw, k, core.Options{Internal: policy.Utilization{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	app, err := Parse(appXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Deploy(d, app, comps(t)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"camera", "roisel", "panel"} {
+		info, ok := d.Component(name)
+		if !ok || info.State != core.Active {
+			t.Fatalf("%s = %+v", name, info)
+		}
+	}
+	// Deploying an invalid application fails before touching the DRCR.
+	bad, err := Parse(`<application name="b"><member component="ghost"/></application>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Deploy(d, bad, comps(t)); err == nil {
+		t.Fatal("invalid application deployed")
+	}
+}
+
+func TestParseEndpoint(t *testing.T) {
+	e, err := ParseEndpoint(" camera/frames ")
+	if err != nil || e.Component != "camera" || e.Port != "frames" {
+		t.Fatalf("e = %+v, %v", e, err)
+	}
+	for _, bad := range []string{"", "noslash", "/x", "x/"} {
+		if _, err := ParseEndpoint(bad); err == nil {
+			t.Errorf("ParseEndpoint(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rtos"
+)
+
+// SchedPolicyResult is one row of Ablation D (dispatcher discipline).
+type SchedPolicyResult struct {
+	Policy string
+	Misses uint64
+	Skips  uint64
+	MaxLat int64
+}
+
+// AblationSchedPolicy runs the density-1.0 rate-inverted task set under
+// fixed-priority (the paper's RTAI configuration) and EDF dispatch. FP
+// cannot schedule the set with its declared priorities; EDF can — the
+// run-time twin of Ablation C's admission-analysis crossover.
+func AblationSchedPolicy(seed uint64, runFor time.Duration) ([]SchedPolicyResult, error) {
+	noNoise := rtos.TimingModel{}
+	run := func(pol rtos.SchedPolicy) (SchedPolicyResult, error) {
+		k := rtos.NewKernel(rtos.Config{Seed: seed, Timing: &noNoise, Policy: pol})
+		long, err := k.CreateTask(rtos.TaskSpec{
+			Name: "long", Type: rtos.Periodic, Period: 10 * time.Millisecond,
+			Priority: 1, ExecTime: 5 * time.Millisecond,
+		})
+		if err != nil {
+			return SchedPolicyResult{}, err
+		}
+		short, err := k.CreateTask(rtos.TaskSpec{
+			Name: "short", Type: rtos.Periodic, Period: 4 * time.Millisecond,
+			Priority: 2, ExecTime: 2 * time.Millisecond,
+		})
+		if err != nil {
+			return SchedPolicyResult{}, err
+		}
+		if err := long.Start(); err != nil {
+			return SchedPolicyResult{}, err
+		}
+		if err := short.Start(); err != nil {
+			return SchedPolicyResult{}, err
+		}
+		if err := k.Run(runFor); err != nil {
+			return SchedPolicyResult{}, err
+		}
+		res := SchedPolicyResult{Policy: pol.String()}
+		for _, task := range k.Tasks() {
+			st := task.Stats()
+			res.Misses += st.Misses
+			res.Skips += st.Skips
+			if st.Latency.Max > res.MaxLat {
+				res.MaxLat = st.Latency.Max
+			}
+		}
+		return res, nil
+	}
+	fp, err := run(rtos.FixedPriority)
+	if err != nil {
+		return nil, err
+	}
+	edf, err := run(rtos.EarliestDeadlineFirst)
+	if err != nil {
+		return nil, err
+	}
+	return []SchedPolicyResult{fp, edf}, nil
+}
+
+// FormatSchedPolicy renders Ablation D.
+func FormatSchedPolicy(rows []SchedPolicyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation D — dispatcher discipline on the density-1.0, rate-inverted set\n")
+	fmt.Fprintf(&b, "%-6s %8s %8s %12s\n", "policy", "misses", "skips", "max-lat-ns")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %8d %8d %12d\n", r.Policy, r.Misses, r.Skips, r.MaxLat)
+	}
+	return b.String()
+}
+
+// Timeline renders a DRCR event log as an ASCII per-component lifecycle
+// timeline — the §4.3 process figures the paper had no page budget for
+// ("Due to page limits, the figures of the whole process could not be
+// list here").
+func Timeline(events []core.Event) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	// Collect component order of first appearance.
+	var names []string
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if !seen[ev.Component] {
+			seen[ev.Component] = true
+			names = append(names, ev.Component)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %-13s %-13s %s\n", "time", "component", "from", "to", "reason")
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%-12v %-8s %-13v %-13v %s\n",
+			ev.At, ev.Component, ev.From, ev.To, ev.Reason)
+	}
+	// Compact per-component state strips.
+	b.WriteString("\nstate strips (one column per event in log order):\n")
+	glyph := map[core.State]byte{
+		0:                '.',
+		core.Disabled:    'd',
+		core.Unsatisfied: 'u',
+		core.Satisfied:   's',
+		core.Active:      'A',
+		core.Suspended:   'P',
+		core.Destroyed:   'x',
+	}
+	cur := map[string]core.State{}
+	strips := map[string][]byte{}
+	for _, ev := range events {
+		cur[ev.Component] = ev.To
+		for _, n := range names {
+			strips[n] = append(strips[n], glyph[cur[n]])
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-8s %s\n", n, strips[n])
+	}
+	b.WriteString("  legend: .=absent d=DISABLED u=UNSATISFIED s=SATISFIED A=ACTIVE P=SUSPENDED x=DESTROYED\n")
+	return b.String()
+}

@@ -1,0 +1,300 @@
+// Package console implements a line-oriented command interpreter over a
+// DRCom system — the analogue of the Equinox console session the paper's
+// prototype ran in. It drives deployment, lifecycle operations, simulated
+// time, and diagnostics (component table, latency rows, event timeline,
+// scheduler Gantt) from a script or interactive stream.
+package console
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	drcom "repro"
+	"repro/internal/bench"
+	"repro/internal/metrics"
+	"repro/internal/rtos"
+)
+
+// Console interprets commands against one System.
+type Console struct {
+	sys    *drcom.System
+	out    io.Writer
+	tracer *rtos.Tracer
+	// ReadFile is stubbed in tests; defaults to os.ReadFile.
+	ReadFile func(string) ([]byte, error)
+}
+
+// New builds a console writing responses to out.
+func New(sys *drcom.System, out io.Writer) *Console {
+	return &Console{sys: sys, out: out, ReadFile: os.ReadFile}
+}
+
+// Run interprets commands from in until EOF or the quit command. Blank
+// lines and #-comments are skipped. Errors are reported to the output
+// stream; they do not stop the session.
+func (c *Console) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if quit := c.Exec(line); quit {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// Exec interprets one command line; it reports whether the session should
+// end.
+func (c *Console) Exec(line string) (quit bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false
+	}
+	cmd, args := fields[0], fields[1:]
+	var err error
+	switch cmd {
+	case "help":
+		c.printHelp()
+	case "quit", "exit":
+		return true
+	case "deploy":
+		err = c.deploy(args)
+	case "remove", "enable", "disable", "suspend", "resume":
+		err = c.lifecycle(cmd, args)
+	case "run":
+		err = c.run(args)
+	case "mode":
+		err = c.mode(args)
+	case "list", "lb", "ss":
+		c.list()
+	case "events":
+		c.events()
+	case "timeline":
+		fmt.Fprint(c.out, bench.Timeline(c.sys.Events()))
+	case "latency":
+		c.latency()
+	case "view":
+		c.view()
+	case "status":
+		err = c.status(args)
+	case "set":
+		err = c.set(args)
+	case "trace":
+		err = c.traceCmd(args)
+	case "gantt":
+		err = c.gantt(args)
+	default:
+		err = fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	if err != nil {
+		fmt.Fprintf(c.out, "error: %v\n", err)
+	}
+	return false
+}
+
+func (c *Console) printHelp() {
+	fmt.Fprint(c.out, `commands:
+  deploy <file.xml>       parse and deploy a component descriptor
+  remove|enable|disable|suspend|resume <name>
+  run <duration>          advance simulated time (e.g. run 500ms)
+  mode light|stress       switch the load regime
+  list                    component table (alias: lb, ss)
+  events                  lifecycle event log
+  timeline                per-component state strips
+  latency                 per-task scheduling latency rows
+  view                    admission view (budgets per CPU)
+  status <name>           management-service status snapshot
+  set <name> <key> <val>  set a component property (async)
+  trace on|off            attach/detach the scheduler tracer
+  gantt <duration>        run + render a scheduler Gantt chart
+  quit                    end the session
+`)
+}
+
+func (c *Console) deploy(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: deploy <file.xml>")
+	}
+	data, err := c.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if err := c.sys.DeployXML(string(data)); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "deployed %s\n", args[0])
+	return nil
+}
+
+func (c *Console) lifecycle(cmd string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s <component>", cmd)
+	}
+	name := args[0]
+	var err error
+	switch cmd {
+	case "remove":
+		err = c.sys.Remove(name)
+	case "enable":
+		err = c.sys.Enable(name)
+	case "disable":
+		err = c.sys.Disable(name)
+	case "suspend":
+		err = c.sys.Suspend(name)
+	case "resume":
+		err = c.sys.Resume(name)
+	}
+	if err != nil {
+		return err
+	}
+	info, _ := c.sys.Component(name)
+	fmt.Fprintf(c.out, "%s: %v\n", name, info.State)
+	return nil
+}
+
+func (c *Console) run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: run <duration>")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil {
+		return err
+	}
+	if err := c.sys.Run(d); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "now %v\n", c.sys.Now())
+	return nil
+}
+
+func (c *Console) mode(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: mode light|stress")
+	}
+	switch args[0] {
+	case "light":
+		c.sys.SetLoadMode(drcom.LightLoad)
+	case "stress":
+		c.sys.SetLoadMode(drcom.StressLoad)
+	default:
+		return fmt.Errorf("unknown mode %q", args[0])
+	}
+	fmt.Fprintf(c.out, "mode %s\n", args[0])
+	return nil
+}
+
+func (c *Console) list() {
+	infos := c.sys.Components()
+	fmt.Fprintf(c.out, "%-8s %-11s %-9s %4s %4s %7s %4s  %s\n",
+		"name", "state", "kind", "cpu", "prio", "budget", "imp", "bindings")
+	for _, info := range infos {
+		fmt.Fprintf(c.out, "%-8s %-11v %-9s %4d %4d %6.0f%% %4d  %v\n",
+			info.Name, info.State, info.Kind, info.CPU, info.Priority,
+			info.CPUUsage*100, info.Importance, info.Bindings)
+	}
+	fmt.Fprintf(c.out, "%d components\n", len(infos))
+}
+
+func (c *Console) events() {
+	for _, ev := range c.sys.Events() {
+		fmt.Fprintf(c.out, "%s\n", ev)
+	}
+}
+
+func (c *Console) latency() {
+	var rows []metrics.Row
+	for _, task := range c.sys.Kernel().Tasks() {
+		rows = append(rows, task.Stats().Latency)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Label < rows[j].Label })
+	fmt.Fprint(c.out, metrics.FormatTable("scheduling latency (ns)", rows))
+}
+
+func (c *Console) view() {
+	view := c.sys.GlobalView()
+	for cpuID := 0; cpuID < view.NumCPUs; cpuID++ {
+		var sum float64
+		names := []string{}
+		for _, ct := range view.OnCPU(cpuID) {
+			sum += ct.CPUUsage
+			names = append(names, ct.Name)
+		}
+		fmt.Fprintf(c.out, "cpu%d: %3.0f%% declared (%s)\n", cpuID, sum*100, strings.Join(names, " "))
+	}
+}
+
+func (c *Console) status(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: status <component>")
+	}
+	mgmt, ok := c.sys.Management(args[0])
+	if !ok {
+		return fmt.Errorf("no management service for %q (not active?)", args[0])
+	}
+	st := mgmt.Status()
+	fmt.Fprintf(c.out, "%s: task=%v jobs=%d misses=%d skips=%d served=%d lost=%d last=%v\n",
+		args[0], st.TaskState, st.Jobs, st.Misses, st.Skips,
+		st.CommandsServed, st.CommandsLost, st.LastJobAt)
+	return nil
+}
+
+func (c *Console) set(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: set <component> <key> <value>")
+	}
+	mgmt, ok := c.sys.Management(args[0])
+	if !ok {
+		return fmt.Errorf("no management service for %q", args[0])
+	}
+	if err := mgmt.SetProperty(args[1], args[2]); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "queued %s=%s for %s (applied at next job)\n", args[1], args[2], args[0])
+	return nil
+}
+
+func (c *Console) traceCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: trace on|off")
+	}
+	switch args[0] {
+	case "on":
+		c.tracer = c.sys.Kernel().StartTrace(0)
+		fmt.Fprintln(c.out, "trace on")
+	case "off":
+		c.sys.Kernel().StopTrace()
+		c.tracer = nil
+		fmt.Fprintln(c.out, "trace off")
+	default:
+		return fmt.Errorf("usage: trace on|off")
+	}
+	return nil
+}
+
+func (c *Console) gantt(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: gantt <duration>")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil {
+		return err
+	}
+	tracer := c.sys.Kernel().StartTrace(0)
+	from := c.sys.Now()
+	if err := c.sys.Run(d); err != nil {
+		return err
+	}
+	if c.tracer == nil {
+		c.sys.Kernel().StopTrace()
+	}
+	fmt.Fprint(c.out, tracer.Gantt(from, c.sys.Now(), 96))
+	return nil
+}

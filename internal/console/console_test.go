@@ -1,0 +1,164 @@
+package console
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	drcom "repro"
+)
+
+const cameraXML = `<component name="camera" type="periodic" cpuusage="0.1">
+  <implementation bincode="demo.Camera"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+</component>`
+
+func newConsole(t *testing.T) (*Console, *strings.Builder) {
+	t.Helper()
+	sys, err := drcom.NewSystem(drcom.Config{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	var out strings.Builder
+	c := New(sys, &out)
+	c.ReadFile = func(path string) ([]byte, error) {
+		if path == "camera.xml" {
+			return []byte(cameraXML), nil
+		}
+		return nil, fmt.Errorf("no such file %q", path)
+	}
+	return c, &out
+}
+
+func session(t *testing.T, script string) string {
+	t.Helper()
+	c, out := newConsole(t)
+	if err := c.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestSessionBasics(t *testing.T) {
+	out := session(t, `
+# a comment and a blank line are skipped
+
+deploy camera.xml
+list
+run 500ms
+status camera
+latency
+view
+quit
+list  # unreachable after quit
+`)
+	for _, want := range []string{
+		"deployed camera.xml",
+		"ACTIVE",
+		"now 500ms",
+		"jobs=",
+		"scheduling latency",
+		"cpu0:  10% declared (camera)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "1 components") != 1 {
+		t.Errorf("quit did not end the session:\n%s", out)
+	}
+}
+
+func TestSessionLifecycleCommands(t *testing.T) {
+	out := session(t, `
+deploy camera.xml
+suspend camera
+resume camera
+disable camera
+enable camera
+remove camera
+events
+`)
+	for _, want := range []string{
+		"camera: SUSPENDED",
+		"camera: ACTIVE",
+		"camera: DISABLED",
+		"DESTROYED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSessionErrorsDoNotAbort(t *testing.T) {
+	out := session(t, `
+bogus command
+deploy nope.xml
+deploy
+run notaduration
+mode sideways
+status ghost
+set ghost k v
+suspend ghost
+trace sideways
+gantt
+deploy camera.xml
+`)
+	if got := strings.Count(out, "error:"); got != 10 {
+		t.Errorf("errors reported = %d, want 10:\n%s", got, out)
+	}
+	if !strings.Contains(out, "deployed camera.xml") {
+		t.Errorf("session aborted before final command:\n%s", out)
+	}
+}
+
+func TestSessionSetProperty(t *testing.T) {
+	out := session(t, `
+deploy camera.xml
+set camera gain 4
+run 20ms
+status camera
+`)
+	if !strings.Contains(out, "queued gain=4") {
+		t.Errorf("set not acknowledged:\n%s", out)
+	}
+	if !strings.Contains(out, "served=1") {
+		t.Errorf("command not served by RT side:\n%s", out)
+	}
+}
+
+func TestSessionModeSwitch(t *testing.T) {
+	out := session(t, `
+deploy camera.xml
+mode stress
+run 1s
+latency
+mode light
+mode
+`)
+	if !strings.Contains(out, "mode stress") {
+		t.Errorf("mode switch not acknowledged:\n%s", out)
+	}
+	// Stress regime visible in the latency row (mean ≈ -21µs).
+	if !strings.Contains(out, "-21") {
+		t.Errorf("stress latency regime not visible:\n%s", out)
+	}
+}
+
+func TestSessionTraceAndGantt(t *testing.T) {
+	out := session(t, `
+deploy camera.xml
+trace on
+gantt 50ms
+trace off
+timeline
+help
+`)
+	for _, want := range []string{"trace on", "gantt", "#", "legend", "state strips", "commands:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package core implements the DRCR — the Declarative Real-time Component
+// Runtime of the paper (§2.2): the service that owns the lifecycle of
+// every declarative real-time component, keeps an accurate global view of
+// promised real-time contracts, resolves functional (port) and
+// non-functional (admission) constraints, and adapts the running set when
+// bundles and components come and go, without impairing the contracts of
+// components that stay active.
+//
+// Components reach the DRCR in two ways: declared in bundle resources
+// named by the DRCom-Components manifest header (parsed automatically
+// when the bundle starts), or deployed directly through Deploy. Each
+// activated component is realised as a hybrid real-time component
+// (package hrc) on the simulated RTAI kernel (package rtos), and its
+// management interface is published in the OSGi service registry under
+// ManagementInterface, exactly as §2.4 describes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/descriptor"
+	"repro/internal/hrc"
+	"repro/internal/osgi"
+	"repro/internal/policy"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// State is the DRCom component lifecycle state (the paper's Figure 1).
+type State int
+
+// Lifecycle states. External events move components between Disabled,
+// Unsatisfied and Destroyed; the DRCR manages Unsatisfied ⇄ Satisfied ⇄
+// Active automatically; Suspended is entered through the management
+// interface while the contract (budget, ports) stays admitted.
+const (
+	Disabled State = iota + 1
+	Unsatisfied
+	Satisfied
+	Active
+	Suspended
+	Destroyed
+)
+
+func (s State) String() string {
+	switch s {
+	case 0:
+		return "NEW"
+	case Disabled:
+		return "DISABLED"
+	case Unsatisfied:
+		return "UNSATISFIED"
+	case Satisfied:
+		return "SATISFIED"
+	case Active:
+		return "ACTIVE"
+	case Suspended:
+		return "SUSPENDED"
+	case Destroyed:
+		return "DESTROYED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// legalTransitions is the exact transition relation of Figure 1; every
+// state change the DRCR performs is checked against it.
+var legalTransitions = map[State][]State{
+	Disabled:    {Unsatisfied, Destroyed},
+	Unsatisfied: {Satisfied, Disabled, Destroyed},
+	Satisfied:   {Active, Unsatisfied, Disabled, Destroyed},
+	Active:      {Suspended, Unsatisfied, Disabled, Destroyed},
+	Suspended:   {Active, Unsatisfied, Disabled, Destroyed},
+}
+
+// CanTransition reports whether from → to is a legal Figure 1 move.
+func CanTransition(from, to State) bool {
+	for _, t := range legalTransitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ManagementInterface is the registry interface name under which each
+// active component's management service is published (§2.4).
+const ManagementInterface = "drcom.Management"
+
+// Management is the per-component management contract of §2.4: suspend,
+// resume, get/set properties, and task status. Note init and uninit are
+// deliberately not part of the interface — only the DRCR creates and
+// destroys instances, or the global view would rot.
+type Management interface {
+	Suspend() error
+	Resume() error
+	SetProperty(key, value string) error
+	Property(key string) (string, bool)
+	Status() hrc.Status
+}
+
+// Compile-time proof that the hybrid component satisfies the management
+// contract.
+var _ Management = (*hrc.Component)(nil)
+
+// BodyFactory builds the functional routine for a component, the stand-in
+// for loading the descriptor's bincode class.
+type BodyFactory func(c *descriptor.Component) rtos.Body
+
+// Event records one lifecycle transition for diagnostics and the
+// dynamicity experiments.
+type Event struct {
+	At        sim.Time
+	Component string
+	From, To  State
+	Reason    string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%v] %s: %v -> %v (%s)", e.At, e.Component, e.From, e.To, e.Reason)
+}
+
+// Component is the DRCR's record of one declared component.
+type Component struct {
+	desc    *descriptor.Component
+	bundle  *osgi.Bundle // nil for directly-deployed components
+	state   State
+	inst    *hrc.Component
+	mgmtReg *osgi.ServiceRegistration
+	// bindings maps inport name -> providing component name while active.
+	bindings map[string]string
+	// lastReason explains the most recent state decision.
+	lastReason string
+	// ownedSHM / ownedBoxes are the IPC objects created for outports.
+	ownedSHM   []string
+	ownedBoxes []string
+}
+
+// Info is a read-only component snapshot.
+type Info struct {
+	Name       string
+	State      State
+	Kind       descriptor.TaskKind
+	CPU        int
+	Priority   int
+	CPUUsage   float64
+	Importance int
+	Bundle     string // symbolic name, "" if directly deployed
+	Bindings   map[string]string
+	LastReason string
+}
+
+// Options configure a DRCR.
+type Options struct {
+	// Internal is the DRCR's built-in resolving service; defaults to
+	// policy.Utilization{} (enforce declared budgets, bound 1.0).
+	Internal policy.Resolver
+	// ExecJitter is the fractional execution-time jitter given to
+	// component tasks; defaults to 0.05.
+	ExecJitter float64
+	// DefaultAperiodicCost is the simulated cost of an aperiodic job;
+	// defaults to 10µs.
+	DefaultAperiodicCost time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.Internal == nil {
+		o.Internal = policy.Utilization{}
+	}
+	if o.ExecJitter == 0 {
+		o.ExecJitter = 0.05
+	}
+	if o.ExecJitter < 0 {
+		o.ExecJitter = 0
+	}
+	if o.DefaultAperiodicCost <= 0 {
+		o.DefaultAperiodicCost = 10 * time.Microsecond
+	}
+}
+
+// DRCR is the declarative real-time component runtime.
+type DRCR struct {
+	mu sync.Mutex
+
+	fw     *osgi.Framework
+	kernel *rtos.Kernel
+	opts   Options
+
+	comps     map[string]*Component
+	factories map[string]BodyFactory
+
+	events    []Event
+	listeners []func(Event)
+
+	removeBundleListener func()
+	resolving            bool
+	dirty                bool
+	closed               bool
+}
+
+// New attaches a DRCR to a framework and kernel. The DRCR immediately
+// starts listening for bundle lifecycle events.
+func New(fw *osgi.Framework, kernel *rtos.Kernel, opts Options) (*DRCR, error) {
+	if fw == nil || kernel == nil {
+		return nil, errors.New("core: DRCR needs a framework and a kernel")
+	}
+	opts.applyDefaults()
+	d := &DRCR{
+		fw:        fw,
+		kernel:    kernel,
+		opts:      opts,
+		comps:     map[string]*Component{},
+		factories: map[string]BodyFactory{},
+	}
+	d.removeBundleListener = fw.AddBundleListener(osgi.BundleListenerFunc(d.bundleChanged))
+	return d, nil
+}
+
+// Kernel returns the RT kernel the DRCR drives.
+func (d *DRCR) Kernel() *rtos.Kernel { return d.kernel }
+
+// Framework returns the owning framework.
+func (d *DRCR) Framework() *osgi.Framework { return d.fw }
+
+// RegisterBody associates a descriptor bincode with a functional routine
+// factory. Components without a registered body still activate — their
+// tasks consume their declared budget but perform no data flow.
+func (d *DRCR) RegisterBody(bincode string, f BodyFactory) error {
+	if bincode == "" || f == nil {
+		return errors.New("core: RegisterBody needs a bincode and a factory")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.factories[bincode]; dup {
+		return fmt.Errorf("core: body for %q already registered", bincode)
+	}
+	d.factories[bincode] = f
+	return nil
+}
+
+// AddListener subscribes to lifecycle events; the returned function
+// unsubscribes.
+func (d *DRCR) AddListener(f func(Event)) (remove func()) {
+	if f == nil {
+		return func() {}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.listeners = append(d.listeners, f)
+	idx := len(d.listeners) - 1
+	return func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if idx < len(d.listeners) {
+			d.listeners[idx] = nil
+		}
+	}
+}
+
+// Events returns a copy of the lifecycle event log.
+func (d *DRCR) Events() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Event, len(d.events))
+	copy(out, d.events)
+	return out
+}
+
+// ClearEvents empties the event log.
+func (d *DRCR) ClearEvents() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.events = d.events[:0]
+}
+
+// Component returns a snapshot of the named component.
+func (d *DRCR) Component(name string) (Info, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.comps[name]
+	if !ok {
+		return Info{}, false
+	}
+	return d.infoLocked(c), true
+}
+
+// Components lists snapshots of all managed components, sorted by name.
+func (d *DRCR) Components() []Info {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Info, 0, len(d.comps))
+	for _, c := range d.comps {
+		out = append(out, d.infoLocked(c))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (d *DRCR) infoLocked(c *Component) Info {
+	info := Info{
+		Name:       c.desc.Name,
+		State:      c.state,
+		Kind:       c.desc.Kind,
+		CPU:        c.desc.CPU(),
+		Priority:   c.desc.Priority(),
+		CPUUsage:   c.desc.CPUUsage,
+		Importance: c.desc.Importance,
+		LastReason: c.lastReason,
+		Bindings:   map[string]string{},
+	}
+	if c.bundle != nil {
+		info.Bundle = c.bundle.SymbolicName()
+	}
+	for k, v := range c.bindings {
+		info.Bindings[k] = v
+	}
+	return info
+}
+
+// Management returns the live management service of an active component.
+func (d *DRCR) Management(name string) (Management, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.comps[name]
+	if !ok || c.inst == nil {
+		return nil, false
+	}
+	return c.inst, true
+}
+
+// GlobalView assembles the admission view over currently admitted
+// (Active or Suspended) components — the DRCR's accurate global picture
+// of promised contracts.
+func (d *DRCR) GlobalView() policy.View {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.viewLocked()
+}
+
+func (d *DRCR) viewLocked() policy.View {
+	v := policy.View{NumCPUs: d.kernel.NumCPUs()}
+	names := d.sortedNamesLocked()
+	for _, n := range names {
+		c := d.comps[n]
+		if c.state == Active || c.state == Suspended {
+			v.Admitted = append(v.Admitted, contractOf(c.desc))
+		}
+	}
+	return v
+}
+
+func contractOf(desc *descriptor.Component) policy.Contract {
+	ct := policy.Contract{
+		Name:       desc.Name,
+		CPU:        desc.CPU(),
+		Priority:   desc.Priority(),
+		CPUUsage:   desc.CPUUsage,
+		Importance: desc.Importance,
+	}
+	if desc.Periodic != nil {
+		ct.Period = desc.Periodic.Period()
+	}
+	return ct
+}
+
+func (d *DRCR) sortedNamesLocked() []string {
+	names := make([]string, 0, len(d.comps))
+	for n := range d.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close detaches the DRCR from framework events and destroys every
+// component.
+func (d *DRCR) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.removeBundleListener()
+	for _, info := range d.Components() {
+		_ = d.Remove(info.Name)
+	}
+}

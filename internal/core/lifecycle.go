@@ -1,0 +1,524 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/descriptor"
+	"repro/internal/hrc"
+	"repro/internal/ldap"
+	"repro/internal/osgi"
+	"repro/internal/policy"
+	"repro/internal/rtos"
+)
+
+// Common errors.
+var (
+	ErrUnknownComponent = errors.New("core: unknown component")
+	ErrClosed           = errors.New("core: DRCR closed")
+)
+
+// Deploy registers a component descriptor directly (no bundle) and runs
+// resolution. The descriptor must already be validated by Parse.
+func (d *DRCR) Deploy(desc *descriptor.Component) error {
+	if err := d.addComponent(desc, nil); err != nil {
+		return err
+	}
+	d.Resolve()
+	return nil
+}
+
+// Remove destroys a component: deactivating it (and, through resolution,
+// its dependents) and deleting its record.
+func (d *DRCR) Remove(name string) error {
+	d.mu.Lock()
+	c, ok := d.comps[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
+	}
+	if c.state == Active || c.state == Suspended {
+		d.deactivateLocked(c, "component removed")
+	}
+	d.setStateLocked(c, Destroyed, "component removed")
+	delete(d.comps, name)
+	d.mu.Unlock()
+	d.Resolve()
+	return nil
+}
+
+// Enable re-enables a disabled component (the paper's enableRTComponent).
+func (d *DRCR) Enable(name string) error {
+	d.mu.Lock()
+	c, ok := d.comps[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
+	}
+	if c.state == Disabled {
+		d.setStateLocked(c, Unsatisfied, "enabled")
+	}
+	d.mu.Unlock()
+	d.Resolve()
+	return nil
+}
+
+// Disable deactivates (if needed) and disables a component.
+func (d *DRCR) Disable(name string) error {
+	d.mu.Lock()
+	c, ok := d.comps[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
+	}
+	switch c.state {
+	case Disabled, Destroyed:
+		d.mu.Unlock()
+		return nil
+	case Active, Suspended:
+		d.deactivateLocked(c, "disabled")
+	}
+	d.setStateLocked(c, Disabled, "disabled")
+	d.mu.Unlock()
+	d.Resolve()
+	return nil
+}
+
+// Suspend suspends an active component through its management interface.
+// The contract (budget, ports) stays admitted, so dependants remain
+// satisfied; the RT task parks at its next job boundary.
+func (d *DRCR) Suspend(name string) error {
+	d.mu.Lock()
+	c, ok := d.comps[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
+	}
+	if c.state != Active {
+		st := c.state
+		d.mu.Unlock()
+		return fmt.Errorf("core: cannot suspend %s in state %v", name, st)
+	}
+	inst := c.inst
+	d.setStateLocked(c, Suspended, "suspend requested")
+	d.mu.Unlock()
+	return inst.Suspend()
+}
+
+// Resume reactivates a suspended component.
+func (d *DRCR) Resume(name string) error {
+	d.mu.Lock()
+	c, ok := d.comps[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
+	}
+	if c.state != Suspended {
+		st := c.state
+		d.mu.Unlock()
+		return fmt.Errorf("core: cannot resume %s in state %v", name, st)
+	}
+	inst := c.inst
+	d.setStateLocked(c, Active, "resume requested")
+	d.mu.Unlock()
+	return inst.Resume()
+}
+
+// bundleChanged ingests components from starting bundles and withdraws
+// them when their bundle stops or disappears.
+func (d *DRCR) bundleChanged(ev osgi.BundleEvent) {
+	switch ev.Type {
+	case osgi.BundleStarted:
+		d.adoptBundle(ev.Bundle)
+	case osgi.BundleStopping, osgi.BundleStopped, osgi.BundleUninstalled:
+		d.dropBundle(ev.Bundle)
+	}
+}
+
+func (d *DRCR) adoptBundle(b *osgi.Bundle) {
+	m := b.Manifest()
+	if m == nil {
+		return
+	}
+	for _, res := range m.DRComComponents {
+		src, ok := b.Resource(res)
+		if !ok {
+			continue
+		}
+		desc, err := descriptor.Parse(src)
+		if err != nil {
+			continue // malformed descriptors are skipped, mirroring SCR
+		}
+		_ = d.addComponent(desc, b) // duplicates are skipped
+	}
+	d.Resolve()
+}
+
+func (d *DRCR) dropBundle(b *osgi.Bundle) {
+	d.mu.Lock()
+	var names []string
+	for name, c := range d.comps {
+		if c.bundle == b {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		c := d.comps[name]
+		if c.state == Active || c.state == Suspended {
+			d.deactivateLocked(c, "bundle "+b.SymbolicName()+" stopped")
+		}
+		d.setStateLocked(c, Destroyed, "bundle "+b.SymbolicName()+" stopped")
+		delete(d.comps, name)
+	}
+	d.mu.Unlock()
+	d.Resolve()
+}
+
+func (d *DRCR) addComponent(desc *descriptor.Component, b *osgi.Bundle) error {
+	if desc == nil {
+		return errors.New("core: nil descriptor")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, dup := d.comps[desc.Name]; dup {
+		return fmt.Errorf("core: component %q already deployed (names are globally unique)", desc.Name)
+	}
+	if cpuID := desc.CPU(); cpuID >= d.kernel.NumCPUs() {
+		return fmt.Errorf("core: component %q pinned to cpu%d but kernel has %d CPUs",
+			desc.Name, cpuID, d.kernel.NumCPUs())
+	}
+	c := &Component{desc: desc, bundle: b, bindings: map[string]string{}}
+	if desc.Enabled {
+		c.state = Unsatisfied
+		c.lastReason = "deployed"
+	} else {
+		c.state = Disabled
+		c.lastReason = "deployed disabled"
+	}
+	d.comps[desc.Name] = c
+	d.emitLocked(Event{
+		At: d.kernel.Now(), Component: desc.Name,
+		From: 0, To: c.state, Reason: c.lastReason,
+	})
+	return nil
+}
+
+// Resolve runs constraint resolution to a fixed point: functional (port)
+// constraints first, then the internal resolving service and every
+// customized resolving service found in the registry (§4.3). Reentrant
+// calls — e.g. service events raised while activating — coalesce into an
+// extra pass.
+func (d *DRCR) Resolve() {
+	d.mu.Lock()
+	if d.resolving {
+		d.dirty = true
+		d.mu.Unlock()
+		return
+	}
+	d.resolving = true
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.resolving = false
+		d.mu.Unlock()
+	}()
+	for pass := 0; pass < 1000; pass++ {
+		changed := d.resolveOnce()
+		d.mu.Lock()
+		dirty := d.dirty
+		d.dirty = false
+		d.mu.Unlock()
+		if !changed && !dirty {
+			return
+		}
+	}
+}
+
+// resolveOnce performs one deactivation sweep and one activation sweep.
+func (d *DRCR) resolveOnce() (changed bool) {
+	// Deactivation: an admitted component whose inports lost their
+	// providers must go down (the Display case when Calculation stops).
+	d.mu.Lock()
+	for _, name := range d.sortedNamesLocked() {
+		c := d.comps[name]
+		if c.state != Active && c.state != Suspended {
+			continue
+		}
+		if missing := d.unsatisfiedInportLocked(c); missing != "" {
+			d.deactivateLocked(c, "inport "+missing+" lost its provider")
+			d.setStateLocked(c, Unsatisfied, "inport "+missing+" lost its provider")
+			changed = true
+		}
+	}
+	names := d.sortedNamesLocked()
+	d.mu.Unlock()
+
+	// Activation: try to bring up everything whose functional constraints
+	// hold and that every resolving service admits.
+	for _, name := range names {
+		d.mu.Lock()
+		c, ok := d.comps[name]
+		if !ok || (c.state != Unsatisfied && c.state != Satisfied) {
+			d.mu.Unlock()
+			continue
+		}
+		if missing := d.unsatisfiedInportLocked(c); missing != "" {
+			if c.state == Satisfied {
+				d.setStateLocked(c, Unsatisfied, "inport "+missing+" unsatisfied")
+				changed = true
+			} else {
+				c.lastReason = "inport " + missing + " unsatisfied"
+			}
+			d.mu.Unlock()
+			continue
+		}
+		if c.state == Unsatisfied {
+			d.setStateLocked(c, Satisfied, "functional constraints satisfied")
+			changed = true
+		}
+		view := d.viewLocked()
+		cand := contractOf(c.desc)
+		d.mu.Unlock()
+
+		// Consult resolving services outside the lock: customized
+		// resolvers live in the service registry and may call back.
+		decision := d.consultResolvers(view, cand)
+		d.mu.Lock()
+		c, ok = d.comps[name]
+		if !ok || c.state != Satisfied {
+			d.mu.Unlock()
+			continue
+		}
+		if !decision.Admit {
+			c.lastReason = "admission denied: " + decision.Reason
+			d.mu.Unlock()
+			continue
+		}
+		if err := d.activateLocked(c); err != nil {
+			c.lastReason = "activation failed: " + err.Error()
+			d.mu.Unlock()
+			continue
+		}
+		d.mu.Unlock()
+		changed = true
+	}
+	return changed
+}
+
+// consultResolvers chains the internal resolving service with every
+// customized resolving service registered under policy.ServiceInterface,
+// in ranking order.
+func (d *DRCR) consultResolvers(view policy.View, cand policy.Contract) policy.Decision {
+	chain := policy.Chain{d.opts.Internal}
+	for _, ref := range d.fw.ServiceReferences(policy.ServiceInterface, nil) {
+		if r, ok := d.fw.Service(ref).(policy.Resolver); ok {
+			chain = append(chain, r)
+		}
+	}
+	return chain.Admit(view, cand)
+}
+
+// unsatisfiedInportLocked returns the name of the first inport with no
+// compatible outport among admitted components, or "".
+func (d *DRCR) unsatisfiedInportLocked(c *Component) string {
+	for _, in := range c.desc.InPorts {
+		if d.findProviderLocked(c.desc.Name, in) == "" {
+			return in.Name
+		}
+	}
+	return ""
+}
+
+// findProviderLocked locates an admitted component whose outport can
+// satisfy the given inport.
+func (d *DRCR) findProviderLocked(self string, in descriptor.Port) string {
+	for _, name := range d.sortedNamesLocked() {
+		if name == self {
+			continue
+		}
+		p := d.comps[name]
+		if p.state != Active && p.state != Suspended {
+			continue
+		}
+		for _, out := range p.desc.OutPorts {
+			if out.CanSatisfy(in) {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// activateLocked instantiates the component: IPC objects for its
+// outports, the hybrid RT task, and the management service.
+func (d *DRCR) activateLocked(c *Component) error {
+	spec, err := d.taskSpecLocked(c.desc)
+	if err != nil {
+		return err
+	}
+	// Outport transports first, so the body can look them up.
+	var createdSHM, createdBoxes []string
+	rollback := func() {
+		for _, n := range createdSHM {
+			_ = d.kernel.IPC().DeleteSHM(n)
+		}
+		for _, n := range createdBoxes {
+			_ = d.kernel.IPC().DeleteMailbox(n)
+		}
+	}
+	for _, out := range c.desc.OutPorts {
+		switch out.Interface {
+		case descriptor.SHM:
+			if _, err := d.kernel.IPC().CreateSHM(out.Name, out.Type, out.Size); err != nil {
+				rollback()
+				return fmt.Errorf("outport %s: %w", out.Name, err)
+			}
+			createdSHM = append(createdSHM, out.Name)
+		case descriptor.Mailbox:
+			if _, err := d.kernel.IPC().CreateMailbox(out.Name, out.Size); err != nil {
+				rollback()
+				return fmt.Errorf("outport %s: %w", out.Name, err)
+			}
+			createdBoxes = append(createdBoxes, out.Name)
+		}
+	}
+	var body rtos.Body
+	if f := d.factories[c.desc.Implementation]; f != nil {
+		body = f(c.desc)
+	}
+	props := map[string]string{}
+	for _, p := range c.desc.Properties {
+		props[p.Name] = p.Value
+	}
+	inst, err := hrc.New(hrc.Config{
+		Kernel: d.kernel,
+		Spec:   spec,
+		Body:   body,
+		Props:  props,
+	})
+	if err != nil {
+		rollback()
+		return err
+	}
+	if err := inst.Start(); err != nil {
+		_ = inst.Close()
+		rollback()
+		return err
+	}
+	// Record inport bindings for the global view.
+	c.bindings = map[string]string{}
+	for _, in := range c.desc.InPorts {
+		c.bindings[in.Name] = d.findProviderLocked(c.desc.Name, in)
+	}
+	c.inst = inst
+	c.ownedSHM = createdSHM
+	c.ownedBoxes = createdBoxes
+	d.setStateLocked(c, Active, "admitted and activated")
+
+	// Publish the management service together with the component's
+	// properties (§2.4). Registration happens via the framework-level
+	// registrar: the component may belong to no bundle.
+	svcProps := ldap.Properties{
+		"drcom.component": c.desc.Name,
+		"drcom.type":      string(c.desc.Kind),
+		"drcom.cpuusage":  c.desc.CPUUsage,
+	}
+	for _, p := range c.desc.Properties {
+		svcProps[p.Name] = p.Value
+	}
+	if reg, err := d.fw.RegisterService([]string{ManagementInterface}, Management(inst), svcProps); err == nil {
+		c.mgmtReg = reg
+	}
+	return nil
+}
+
+// deactivateLocked tears the instance down and releases its transports.
+func (d *DRCR) deactivateLocked(c *Component, reason string) {
+	if c.mgmtReg != nil {
+		_ = c.mgmtReg.Unregister()
+		c.mgmtReg = nil
+	}
+	if c.inst != nil {
+		_ = c.inst.Close()
+		c.inst = nil
+	}
+	for _, n := range c.ownedSHM {
+		_ = d.kernel.IPC().DeleteSHM(n)
+	}
+	for _, n := range c.ownedBoxes {
+		_ = d.kernel.IPC().DeleteMailbox(n)
+	}
+	c.ownedSHM, c.ownedBoxes = nil, nil
+	c.bindings = map[string]string{}
+	c.lastReason = reason
+}
+
+// taskSpecLocked maps a descriptor's real-time contract onto an RT task
+// specification. The simulated execution cost is the declared budget
+// (cpuusage × period) unless the component carries an explicit
+// "drcom.exectime.us" property.
+func (d *DRCR) taskSpecLocked(desc *descriptor.Component) (rtos.TaskSpec, error) {
+	spec := rtos.TaskSpec{
+		Name:       desc.Name,
+		CPU:        desc.CPU(),
+		Priority:   desc.Priority(),
+		ExecJitter: d.opts.ExecJitter,
+	}
+	switch desc.Kind {
+	case descriptor.Periodic:
+		spec.Type = rtos.Periodic
+		spec.Period = desc.Periodic.Period()
+		spec.ExecTime = time.Duration(desc.CPUUsage * float64(spec.Period))
+	case descriptor.Aperiodic:
+		spec.Type = rtos.Aperiodic
+		spec.ExecTime = d.opts.DefaultAperiodicCost
+	default:
+		return rtos.TaskSpec{}, fmt.Errorf("core: component %s: unknown kind %q", desc.Name, desc.Kind)
+	}
+	if p, ok := desc.Property("drcom.exectime.us"); ok {
+		us, err := p.Int()
+		if err != nil || us <= 0 {
+			return rtos.TaskSpec{}, fmt.Errorf("core: component %s: bad drcom.exectime.us", desc.Name)
+		}
+		spec.ExecTime = time.Duration(us) * time.Microsecond
+	}
+	if spec.ExecTime <= 0 {
+		spec.ExecTime = time.Microsecond
+	}
+	return spec, nil
+}
+
+// setStateLocked performs a checked Figure 1 transition and emits the
+// event.
+func (d *DRCR) setStateLocked(c *Component, to State, reason string) {
+	from := c.state
+	if from == to {
+		return
+	}
+	if from != 0 && !CanTransition(from, to) {
+		// Illegal transitions are programming errors in the runtime; keep
+		// the record but scream in the event log.
+		reason = fmt.Sprintf("ILLEGAL TRANSITION %v->%v: %s", from, to, reason)
+	}
+	c.state = to
+	c.lastReason = reason
+	d.emitLocked(Event{At: d.kernel.Now(), Component: c.desc.Name, From: from, To: to, Reason: reason})
+}
+
+func (d *DRCR) emitLocked(ev Event) {
+	d.events = append(d.events, ev)
+	ls := make([]func(Event), len(d.listeners))
+	copy(ls, d.listeners)
+	// Listeners run without the lock to allow callbacks into the DRCR.
+	d.mu.Unlock()
+	for _, l := range ls {
+		if l != nil {
+			l(ev)
+		}
+	}
+	d.mu.Lock()
+}

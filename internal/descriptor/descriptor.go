@@ -1,0 +1,474 @@
+// Package descriptor implements the DRCom component description of the
+// paper's §2.3: an XML document declaring a component's real-time
+// contract (task type, priority, frequency, CPU affinity, CPU budget),
+// its communication ports, and its configuration properties.
+//
+// The schema follows the paper's Figure 2 verbatim, including its
+// spellings ("frequence", "runoncup", "bincode"); the conventional
+// spellings are accepted as aliases.
+package descriptor
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/rtos/ipc"
+)
+
+// TaskKind is the declared task type.
+type TaskKind string
+
+// Task kinds.
+const (
+	Periodic  TaskKind = "periodic"
+	Aperiodic TaskKind = "aperiodic"
+)
+
+// PortInterface is the transport a port maps to.
+type PortInterface string
+
+// Supported port interfaces (paper §2.3: "only the RTAI.SHM and
+// RTAI.Mailbox are supported").
+const (
+	SHM     PortInterface = "RTAI.SHM"
+	Mailbox PortInterface = "RTAI.Mailbox"
+)
+
+// Direction tells producer ports from consumer ports.
+type Direction int
+
+// Port directions.
+const (
+	Out Direction = iota + 1
+	In
+)
+
+func (d Direction) String() string {
+	if d == Out {
+		return "outport"
+	}
+	return "inport"
+}
+
+// Port is one communication endpoint.
+type Port struct {
+	Name      string
+	Interface PortInterface
+	Type      ipc.ElemType
+	Size      int // element count; byte size is Size*Type.Size()
+	Direction Direction
+}
+
+// CanSatisfy reports whether this outport satisfies the given inport:
+// same port name, same transport, same element type, and at least the
+// required size (paper §2.3: name+interface+type+size determine
+// compatibility).
+func (p Port) CanSatisfy(in Port) bool {
+	return p.Direction == Out && in.Direction == In &&
+		p.Name == in.Name &&
+		p.Interface == in.Interface &&
+		p.Type == in.Type &&
+		p.Size >= in.Size
+}
+
+// Property is one configuration property.
+type Property struct {
+	Name  string
+	Type  string // Integer, Float, String, Boolean
+	Value string
+}
+
+// Int returns the property as an integer.
+func (p Property) Int() (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(p.Value))
+	if err != nil {
+		return 0, fmt.Errorf("descriptor: property %s: %w", p.Name, err)
+	}
+	return v, nil
+}
+
+// Float returns the property as a float.
+func (p Property) Float() (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(p.Value), 64)
+	if err != nil {
+		return 0, fmt.Errorf("descriptor: property %s: %w", p.Name, err)
+	}
+	return v, nil
+}
+
+// Bool returns the property as a boolean.
+func (p Property) Bool() (bool, error) {
+	v, err := strconv.ParseBool(strings.TrimSpace(p.Value))
+	if err != nil {
+		return false, fmt.Errorf("descriptor: property %s: %w", p.Name, err)
+	}
+	return v, nil
+}
+
+// PeriodicSpec carries the periodictask element.
+type PeriodicSpec struct {
+	// FrequencyHz is the release rate (the descriptor's "frequence").
+	FrequencyHz float64
+	// CPU is the processor affinity (the descriptor's "runoncup").
+	CPU int
+	// Priority is the RT priority; lower is more urgent.
+	Priority int
+}
+
+// Period converts the frequency to a release period.
+func (p PeriodicSpec) Period() time.Duration {
+	if p.FrequencyHz <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / p.FrequencyHz)
+}
+
+// AperiodicSpec carries the aperiodictask element.
+type AperiodicSpec struct {
+	CPU      int
+	Priority int
+}
+
+// Component is a parsed, validated DRCom descriptor.
+type Component struct {
+	// Name is globally unique and doubles as the RT task name, hence the
+	// RTAI six-character limit (paper §2.3).
+	Name        string
+	Description string
+	Kind        TaskKind
+	// Enabled controls whether the component activates when its bundle
+	// starts (default true; see enableRTComponent in the paper).
+	Enabled bool
+	// CPUUsage is the declared CPU budget fraction this component claims
+	// to guarantee its real-time characteristics.
+	CPUUsage float64
+	// Importance ranks components for adaptation decisions (higher =
+	// more important; default 0). This is a DRCom extension in the
+	// direction of the paper's §6 "more powerful component description
+	// language": adaptation managers use it to pick victims under
+	// overload.
+	Importance     int
+	Implementation string // the "bincode" implementation class
+	Periodic       *PeriodicSpec
+	Aperiodic      *AperiodicSpec
+	InPorts        []Port
+	OutPorts       []Port
+	Properties     []Property
+}
+
+// Property looks up a property by name.
+func (c *Component) Property(name string) (Property, bool) {
+	for _, p := range c.Properties {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Property{}, false
+}
+
+// CPU returns the component's processor affinity.
+func (c *Component) CPU() int {
+	switch {
+	case c.Periodic != nil:
+		return c.Periodic.CPU
+	case c.Aperiodic != nil:
+		return c.Aperiodic.CPU
+	default:
+		return 0
+	}
+}
+
+// Priority returns the component's declared RT priority.
+func (c *Component) Priority() int {
+	switch {
+	case c.Periodic != nil:
+		return c.Periodic.Priority
+	case c.Aperiodic != nil:
+		return c.Aperiodic.Priority
+	default:
+		return 0
+	}
+}
+
+// xml wire format ---------------------------------------------------------
+
+type xmlPort struct {
+	Name      string `xml:"name,attr"`
+	Interface string `xml:"interface,attr"`
+	Type      string `xml:"type,attr"`
+	Size      string `xml:"size,attr"`
+}
+
+type xmlComponent struct {
+	XMLName    xml.Name `xml:"component"`
+	Name       string   `xml:"name,attr"`
+	Desc       string   `xml:"desc,attr"`
+	Type       string   `xml:"type,attr"`
+	Enabled    string   `xml:"enabled,attr"`
+	CPUUsage   string   `xml:"cpuusage,attr"`
+	Importance string   `xml:"importance,attr"`
+
+	Implementation struct {
+		Bincode string `xml:"bincode,attr"`
+		Class   string `xml:"class,attr"` // conventional alias
+	} `xml:"implementation"`
+
+	PeriodicTask *struct {
+		Frequence string `xml:"frequence,attr"`
+		Frequency string `xml:"frequency,attr"` // alias
+		RunOnCup  string `xml:"runoncup,attr"`
+		RunOnCPU  string `xml:"runoncpu,attr"` // alias
+		Priority  string `xml:"priority,attr"`
+	} `xml:"periodictask"`
+
+	AperiodicTask *struct {
+		RunOnCup string `xml:"runoncup,attr"`
+		RunOnCPU string `xml:"runoncpu,attr"`
+		Priority string `xml:"priority,attr"`
+	} `xml:"aperiodictask"`
+
+	OutPorts []xmlPort `xml:"outport"`
+	InPorts  []xmlPort `xml:"inport"`
+
+	Properties []struct {
+		Name  string `xml:"name,attr"`
+		Type  string `xml:"type,attr"`
+		Value string `xml:"value,attr"`
+	} `xml:"property"`
+}
+
+// ValidationError aggregates everything wrong with a descriptor.
+type ValidationError struct {
+	Component string
+	Problems  []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("descriptor: component %q invalid: %s",
+		e.Component, strings.Join(e.Problems, "; "))
+}
+
+// Parse reads and validates one DRCom component descriptor.
+func Parse(src string) (*Component, error) {
+	var xc xmlComponent
+	if err := xml.Unmarshal([]byte(src), &xc); err != nil {
+		return nil, fmt.Errorf("descriptor: XML: %w", err)
+	}
+	c := &Component{
+		Name:        strings.TrimSpace(xc.Name),
+		Description: xc.Desc,
+		Kind:        TaskKind(strings.ToLower(strings.TrimSpace(xc.Type))),
+		Enabled:     xc.Enabled != "false",
+	}
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if c.Name == "" {
+		addf("missing name")
+	} else if !ipc.ValidName(c.Name) {
+		addf("name %q must be 1..%d characters (RTAI task name)", c.Name, ipc.MaxNameLen)
+	}
+
+	if xc.CPUUsage != "" {
+		u, err := strconv.ParseFloat(xc.CPUUsage, 64)
+		if err != nil || u < 0 || u > 1 {
+			addf("cpuusage %q must be a fraction in [0,1]", xc.CPUUsage)
+		} else {
+			c.CPUUsage = u
+		}
+	}
+
+	if xc.Importance != "" {
+		n, err := strconv.Atoi(strings.TrimSpace(xc.Importance))
+		if err != nil || n < 0 {
+			addf("importance %q must be a non-negative integer", xc.Importance)
+		} else {
+			c.Importance = n
+		}
+	}
+
+	c.Implementation = firstNonEmpty(xc.Implementation.Bincode, xc.Implementation.Class)
+	if c.Implementation == "" {
+		addf("missing implementation bincode")
+	}
+
+	switch c.Kind {
+	case Periodic:
+		if xc.PeriodicTask == nil {
+			addf("periodic component needs a periodictask element")
+		} else {
+			spec := &PeriodicSpec{}
+			freq := firstNonEmpty(xc.PeriodicTask.Frequence, xc.PeriodicTask.Frequency)
+			f, err := strconv.ParseFloat(strings.TrimSpace(freq), 64)
+			if err != nil || f <= 0 {
+				addf("periodictask frequence %q must be a positive number", freq)
+			} else {
+				spec.FrequencyHz = f
+			}
+			spec.CPU, spec.Priority = parseCPUPrio(
+				firstNonEmpty(xc.PeriodicTask.RunOnCup, xc.PeriodicTask.RunOnCPU),
+				xc.PeriodicTask.Priority, addf)
+			c.Periodic = spec
+		}
+	case Aperiodic:
+		spec := &AperiodicSpec{}
+		if xc.AperiodicTask != nil {
+			spec.CPU, spec.Priority = parseCPUPrio(
+				firstNonEmpty(xc.AperiodicTask.RunOnCup, xc.AperiodicTask.RunOnCPU),
+				xc.AperiodicTask.Priority, addf)
+		}
+		c.Aperiodic = spec
+	default:
+		addf("type %q must be periodic or aperiodic", xc.Type)
+	}
+
+	seenPorts := map[string]bool{}
+	for _, xp := range xc.OutPorts {
+		if p, ok := parsePort(xp, Out, seenPorts, addf); ok {
+			c.OutPorts = append(c.OutPorts, p)
+		}
+	}
+	for _, xp := range xc.InPorts {
+		if p, ok := parsePort(xp, In, seenPorts, addf); ok {
+			c.InPorts = append(c.InPorts, p)
+		}
+	}
+
+	seenProps := map[string]bool{}
+	for _, xp := range xc.Properties {
+		if xp.Name == "" {
+			addf("property without name")
+			continue
+		}
+		if seenProps[xp.Name] {
+			addf("duplicate property %q", xp.Name)
+			continue
+		}
+		seenProps[xp.Name] = true
+		typ := xp.Type
+		if typ == "" {
+			typ = "String"
+		}
+		switch typ {
+		case "Integer", "Float", "String", "Boolean":
+		default:
+			addf("property %q has unknown type %q", xp.Name, xp.Type)
+			continue
+		}
+		c.Properties = append(c.Properties, Property{Name: xp.Name, Type: typ, Value: xp.Value})
+	}
+
+	if len(problems) > 0 {
+		return nil, &ValidationError{Component: c.Name, Problems: problems}
+	}
+	return c, nil
+}
+
+// ParseAll parses a set of descriptor documents, failing on the first
+// error or duplicate component name.
+func ParseAll(srcs []string) ([]*Component, error) {
+	seen := map[string]bool{}
+	out := make([]*Component, 0, len(srcs))
+	for i, src := range srcs {
+		c, err := Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("descriptor %d: %w", i, err)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("descriptor: duplicate component name %q", c.Name)
+		}
+		seen[c.Name] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseCPUPrio(cpuStr, prioStr string, addf func(string, ...any)) (cpuID, prio int) {
+	if cpuStr != "" {
+		v, err := strconv.Atoi(strings.TrimSpace(cpuStr))
+		if err != nil || v < 0 {
+			addf("runoncup %q must be a non-negative integer", cpuStr)
+		} else {
+			cpuID = v
+		}
+	}
+	if prioStr != "" {
+		v, err := strconv.Atoi(strings.TrimSpace(prioStr))
+		if err != nil || v < 0 {
+			addf("priority %q must be a non-negative integer", prioStr)
+		} else {
+			prio = v
+		}
+	}
+	return cpuID, prio
+}
+
+func parsePort(xp xmlPort, dir Direction, seen map[string]bool, addf func(string, ...any)) (Port, bool) {
+	ok := true
+	p := Port{Name: xp.Name, Direction: dir}
+	if xp.Name == "" {
+		addf("%v without name", dir)
+		ok = false
+	} else if !ipc.ValidName(xp.Name) {
+		addf("%v name %q must be 1..%d characters", dir, xp.Name, ipc.MaxNameLen)
+		ok = false
+	} else if seen[xp.Name] {
+		addf("duplicate port name %q", xp.Name)
+		ok = false
+	} else {
+		seen[xp.Name] = true
+	}
+	switch PortInterface(xp.Interface) {
+	case SHM, Mailbox:
+		p.Interface = PortInterface(xp.Interface)
+	default:
+		addf("port %q interface %q must be RTAI.SHM or RTAI.Mailbox", xp.Name, xp.Interface)
+		ok = false
+	}
+	if t, err := ipc.ParseElemType(strings.TrimSpace(xp.Type)); err != nil {
+		addf("port %q type %q must be Integer or Byte", xp.Name, xp.Type)
+		ok = false
+	} else {
+		p.Type = t
+	}
+	if n, err := strconv.Atoi(strings.TrimSpace(xp.Size)); err != nil || n <= 0 {
+		addf("port %q size %q must be a positive integer", xp.Name, xp.Size)
+		ok = false
+	} else {
+		p.Size = n
+	}
+	return p, ok
+}
+
+func firstNonEmpty(ss ...string) string {
+	for _, s := range ss {
+		if strings.TrimSpace(s) != "" {
+			return strings.TrimSpace(s)
+		}
+	}
+	return ""
+}
+
+// ErrNotDRCom is returned by Sniff for XML that is not a DRCom component.
+var ErrNotDRCom = errors.New("descriptor: not a DRCom component document")
+
+// Sniff reports whether src looks like a DRCom component descriptor
+// (root element "component"), without full validation.
+func Sniff(src string) error {
+	var probe struct {
+		XMLName xml.Name
+	}
+	if err := xml.Unmarshal([]byte(src), &probe); err != nil {
+		return fmt.Errorf("descriptor: XML: %w", err)
+	}
+	if probe.XMLName.Local != "component" {
+		return ErrNotDRCom
+	}
+	return nil
+}

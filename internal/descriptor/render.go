@@ -1,0 +1,64 @@
+package descriptor
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// attr renders an XML-escaped attribute value in double quotes.
+func attr(v string) string {
+	var b strings.Builder
+	_ = xml.EscapeText(&b, []byte(v))
+	// EscapeText leaves double quotes alone; escape them for attribute
+	// context.
+	return `"` + strings.ReplaceAll(b.String(), `"`, "&#34;") + `"`
+}
+
+// Render writes the component back out as descriptor XML in the paper's
+// Figure 2 schema. Parse(Render(c)) yields a component equal to c, which
+// the tests pin as a property; tools use Render to normalise hand-written
+// descriptors.
+func (c *Component) Render() string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	fmt.Fprintf(&b, `<drt:component name=%s`, attr(c.Name))
+	if c.Description != "" {
+		fmt.Fprintf(&b, ` desc=%s`, attr(c.Description))
+	}
+	fmt.Fprintf(&b, ` type=%s`, attr(string(c.Kind)))
+	if !c.Enabled {
+		b.WriteString(` enabled="false"`)
+	}
+	if c.CPUUsage != 0 {
+		fmt.Fprintf(&b, ` cpuusage="%g"`, c.CPUUsage)
+	}
+	if c.Importance != 0 {
+		fmt.Fprintf(&b, ` importance="%d"`, c.Importance)
+	}
+	b.WriteString(` xmlns:drt="urn:drcom">` + "\n")
+
+	fmt.Fprintf(&b, "  <implementation bincode=%s/>\n", attr(c.Implementation))
+	if c.Periodic != nil {
+		fmt.Fprintf(&b, `  <periodictask frequence="%g" runoncup="%d" priority="%d"/>`+"\n",
+			c.Periodic.FrequencyHz, c.Periodic.CPU, c.Periodic.Priority)
+	}
+	if c.Aperiodic != nil && (c.Aperiodic.CPU != 0 || c.Aperiodic.Priority != 0) {
+		fmt.Fprintf(&b, `  <aperiodictask runoncup="%d" priority="%d"/>`+"\n",
+			c.Aperiodic.CPU, c.Aperiodic.Priority)
+	}
+	for _, p := range c.OutPorts {
+		fmt.Fprintf(&b, `  <outport name=%s interface=%s type=%s size="%d"/>`+"\n",
+			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size)
+	}
+	for _, p := range c.InPorts {
+		fmt.Fprintf(&b, `  <inport name=%s interface=%s type=%s size="%d"/>`+"\n",
+			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size)
+	}
+	for _, p := range c.Properties {
+		fmt.Fprintf(&b, `  <property name=%s type=%s value=%s/>`+"\n",
+			attr(p.Name), attr(p.Type), attr(p.Value))
+	}
+	b.WriteString("</drt:component>\n")
+	return b.String()
+}

@@ -1,0 +1,256 @@
+package ldap
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Properties is a case-insensitive-keyed property map in the OSGi style.
+// Keys are looked up with case folding; values may be string, bool, int,
+// int32, int64, float32, float64, or slices of those.
+type Properties map[string]any
+
+// get performs a case-insensitive lookup.
+func (p Properties) get(key string) (any, bool) {
+	if v, ok := p[key]; ok {
+		return v, true
+	}
+	for k, v := range p {
+		if strings.EqualFold(k, key) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Matches evaluates the filter against props. A nil filter matches
+// everything (OSGi convention for "no filter").
+func (f *Filter) Matches(props Properties) bool {
+	if f == nil {
+		return true
+	}
+	switch f.op {
+	case OpAnd:
+		for _, k := range f.children {
+			if !k.Matches(props) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range f.children {
+			if k.Matches(props) {
+				return true
+			}
+		}
+		return false
+	case OpNot:
+		return !f.children[0].Matches(props)
+	case OpPresent:
+		_, ok := props.get(f.attr)
+		return ok
+	default:
+		v, ok := props.get(f.attr)
+		if !ok {
+			return false
+		}
+		return matchValue(f, v)
+	}
+}
+
+// matchValue applies a leaf comparison to a single value, distributing
+// over slices (any element may match).
+func matchValue(f *Filter, v any) bool {
+	switch vv := v.(type) {
+	case []string:
+		for _, e := range vv {
+			if matchScalar(f, e) {
+				return true
+			}
+		}
+		return false
+	case []int:
+		for _, e := range vv {
+			if matchScalar(f, e) {
+				return true
+			}
+		}
+		return false
+	case []any:
+		for _, e := range vv {
+			if matchScalar(f, e) {
+				return true
+			}
+		}
+		return false
+	default:
+		return matchScalar(f, v)
+	}
+}
+
+func matchScalar(f *Filter, v any) bool {
+	switch f.op {
+	case OpSubstring:
+		s, ok := stringOf(v)
+		if !ok {
+			return false
+		}
+		return substringMatch(f.subParts, s)
+	case OpEqual, OpApprox:
+		return compareEqual(f, v)
+	case OpGreaterEq:
+		c, ok := compareOrder(f, v)
+		return ok && c >= 0
+	case OpLessEq:
+		c, ok := compareOrder(f, v)
+		return ok && c <= 0
+	default:
+		return false
+	}
+}
+
+func stringOf(v any) (string, bool) {
+	s, ok := v.(string)
+	return s, ok
+}
+
+// compareEqual compares the filter literal to v using v's native type.
+// OpApprox additionally folds case and strips whitespace for strings.
+func compareEqual(f *Filter, v any) bool {
+	lit := unescapeStars(f.value)
+	switch vv := v.(type) {
+	case string:
+		if f.op == OpApprox {
+			return foldApprox(vv) == foldApprox(lit)
+		}
+		return vv == lit
+	case bool:
+		b, err := strconv.ParseBool(strings.TrimSpace(lit))
+		return err == nil && b == vv
+	case int:
+		return intEq(int64(vv), lit)
+	case int32:
+		return intEq(int64(vv), lit)
+	case int64:
+		return intEq(vv, lit)
+	case uint:
+		return intEq(int64(vv), lit)
+	case float32:
+		return floatEq(float64(vv), lit)
+	case float64:
+		return floatEq(vv, lit)
+	default:
+		return false
+	}
+}
+
+func intEq(v int64, lit string) bool {
+	n, err := strconv.ParseInt(strings.TrimSpace(lit), 10, 64)
+	return err == nil && n == v
+}
+
+func floatEq(v float64, lit string) bool {
+	fl, err := strconv.ParseFloat(strings.TrimSpace(lit), 64)
+	return err == nil && fl == v
+}
+
+func foldApprox(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), ""))
+}
+
+// compareOrder returns sign(v - literal) when both sides are comparable.
+func compareOrder(f *Filter, v any) (int, bool) {
+	lit := strings.TrimSpace(unescapeStars(f.value))
+	switch vv := v.(type) {
+	case string:
+		return strings.Compare(vv, lit), true
+	case bool:
+		return 0, false
+	case int:
+		return intCmp(int64(vv), lit)
+	case int32:
+		return intCmp(int64(vv), lit)
+	case int64:
+		return intCmp(vv, lit)
+	case uint:
+		return intCmp(int64(vv), lit)
+	case float32:
+		return floatCmp(float64(vv), lit)
+	case float64:
+		return floatCmp(vv, lit)
+	default:
+		return 0, false
+	}
+}
+
+func intCmp(v int64, lit string) (int, bool) {
+	n, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		// Allow float literals against int values.
+		fl, ferr := strconv.ParseFloat(lit, 64)
+		if ferr != nil {
+			return 0, false
+		}
+		return cmpFloat(float64(v), fl), true
+	}
+	return cmpInt(v, n), true
+}
+
+func floatCmp(v float64, lit string) (int, bool) {
+	fl, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return 0, false
+	}
+	return cmpFloat(v, fl), true
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// substringMatch checks s against the alternating fixed parts of a
+// substring pattern ("ab*cd*" → ["ab","cd",""]).
+func substringMatch(parts []string, s string) bool {
+	if len(parts) == 0 {
+		return s == ""
+	}
+	// Anchored prefix.
+	if parts[0] != "" {
+		if !strings.HasPrefix(s, parts[0]) {
+			return false
+		}
+		s = s[len(parts[0]):]
+	}
+	last := len(parts) - 1
+	// Middle parts must occur in order.
+	for i := 1; i < last; i++ {
+		idx := strings.Index(s, parts[i])
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(parts[i]):]
+	}
+	// Anchored suffix.
+	if last > 0 && parts[last] != "" {
+		return strings.HasSuffix(s, parts[last])
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleManifest = `Bundle-SymbolicName: ua.pats.demo.smartcamera
+Bundle-Version: 1.0.2
+Bundle-Name: Smart Camera Controller
+Bundle-Activator: ua.pats.demo.smartcamera.Activator
+Import-Package: org.osgi.framework;version="[1.3,2.0)", ua.pats.rt;version="1.0",
+ ua.pats.util
+Export-Package: ua.pats.demo.smartcamera.api;version="1.0.2"
+DRCom-Components: OSGI-INF/camera.xml, OSGI-INF/filter.xml
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := Parse(sampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SymbolicName != "ua.pats.demo.smartcamera" {
+		t.Errorf("SymbolicName = %q", m.SymbolicName)
+	}
+	if m.Version != MustParseVersion("1.0.2") {
+		t.Errorf("Version = %v", m.Version)
+	}
+	if m.Name != "Smart Camera Controller" {
+		t.Errorf("Name = %q", m.Name)
+	}
+	if m.Activator != "ua.pats.demo.smartcamera.Activator" {
+		t.Errorf("Activator = %q", m.Activator)
+	}
+	if len(m.Imports) != 3 {
+		t.Fatalf("Imports = %v", m.Imports)
+	}
+	if m.Imports[0].Name != "org.osgi.framework" {
+		t.Errorf("import0 = %q", m.Imports[0].Name)
+	}
+	if !m.Imports[0].Range.Contains(MustParseVersion("1.5")) ||
+		m.Imports[0].Range.Contains(MustParseVersion("2.0")) {
+		t.Errorf("import0 range wrong: %v", m.Imports[0].Range)
+	}
+	if m.Imports[2].Name != "ua.pats.util" {
+		t.Errorf("continuation line import = %q", m.Imports[2].Name)
+	}
+	if len(m.Exports) != 1 || m.Exports[0].Version != MustParseVersion("1.0.2") {
+		t.Errorf("Exports = %v", m.Exports)
+	}
+	if len(m.DRComComponents) != 2 || m.DRComComponents[1] != "OSGI-INF/filter.xml" {
+		t.Errorf("DRComComponents = %v", m.DRComComponents)
+	}
+}
+
+func TestParseSymbolicNameDirectives(t *testing.T) {
+	m, err := Parse("Bundle-SymbolicName: my.bundle;singleton:=true\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SymbolicName != "my.bundle" {
+		t.Errorf("SymbolicName = %q", m.SymbolicName)
+	}
+}
+
+func TestParseOptionalImport(t *testing.T) {
+	m, err := Parse("Bundle-SymbolicName: b\nImport-Package: x;resolution:=optional\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Imports[0].Optional {
+		t.Error("optional import not detected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"missing symbolic name", "Bundle-Name: x\n"},
+		{"malformed header", "NotAHeader\n"},
+		{"bad version", "Bundle-SymbolicName: b\nBundle-Version: banana\n"},
+		{"duplicate header", "Bundle-SymbolicName: b\nBundle-SymbolicName: c\n"},
+		{"continuation first", " leading continuation\n"},
+		{"bad import range", "Bundle-SymbolicName: b\nImport-Package: x;version=\"[2.0,1.0]\"\n"},
+		{"bad export version", "Bundle-SymbolicName: b\nExport-Package: x;version=\"zz\"\n"},
+		{"bad import attr", "Bundle-SymbolicName: b\nImport-Package: x;version\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); err == nil {
+			t.Errorf("%s: Parse succeeded", c.name)
+		}
+	}
+}
+
+func TestSplitClausesQuotedComma(t *testing.T) {
+	got := splitClauses(`a;version="[1,2)", b`)
+	if len(got) != 2 {
+		t.Fatalf("splitClauses = %v", got)
+	}
+	if !strings.Contains(got[0], "[1,2)") {
+		t.Errorf("clause0 = %q", got[0])
+	}
+}
+
+func TestNewAndRender(t *testing.T) {
+	m := New("my.bundle", MustParseVersion("2.1"))
+	out := m.Render()
+	if !strings.Contains(out, "Bundle-SymbolicName: my.bundle") {
+		t.Errorf("Render missing symbolic name:\n%s", out)
+	}
+	if !strings.Contains(out, "Bundle-Version: 2.1.0") {
+		t.Errorf("Render missing version:\n%s", out)
+	}
+	back, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.SymbolicName != "my.bundle" || back.Version != MustParseVersion("2.1.0") {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestParseCRLF(t *testing.T) {
+	m, err := Parse("Bundle-SymbolicName: b\r\nBundle-Version: 1.0\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SymbolicName != "b" {
+		t.Errorf("SymbolicName = %q", m.SymbolicName)
+	}
+}
+
+func TestServiceComponentHeader(t *testing.T) {
+	m, err := Parse("Bundle-SymbolicName: b\nService-Component: OSGI-INF/ds.xml\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ServiceComponents) != 1 || m.ServiceComponents[0] != "OSGI-INF/ds.xml" {
+		t.Errorf("ServiceComponents = %v", m.ServiceComponents)
+	}
+}

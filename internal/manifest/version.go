@@ -1,0 +1,194 @@
+// Package manifest implements OSGi bundle metadata: versions, version
+// ranges, and the manifest headers the framework resolver consumes
+// (Bundle-SymbolicName, Import-Package, Export-Package, …).
+package manifest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is an OSGi version: major.minor.micro with an optional
+// qualifier. The zero value is version 0.0.0.
+type Version struct {
+	Major, Minor, Micro int
+	Qualifier           string
+}
+
+// ParseVersion parses "major[.minor[.micro[.qualifier]]]".
+func ParseVersion(s string) (Version, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Version{}, fmt.Errorf("manifest: empty version")
+	}
+	parts := strings.SplitN(s, ".", 4)
+	var v Version
+	var err error
+	if v.Major, err = parseVersionPart(parts[0]); err != nil {
+		return Version{}, fmt.Errorf("manifest: bad major in %q: %w", s, err)
+	}
+	if len(parts) > 1 {
+		if v.Minor, err = parseVersionPart(parts[1]); err != nil {
+			return Version{}, fmt.Errorf("manifest: bad minor in %q: %w", s, err)
+		}
+	}
+	if len(parts) > 2 {
+		if v.Micro, err = parseVersionPart(parts[2]); err != nil {
+			return Version{}, fmt.Errorf("manifest: bad micro in %q: %w", s, err)
+		}
+	}
+	if len(parts) > 3 {
+		v.Qualifier = parts[3]
+		if v.Qualifier == "" {
+			return Version{}, fmt.Errorf("manifest: empty qualifier in %q", s)
+		}
+	}
+	return v, nil
+}
+
+func parseVersionPart(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative segment %d", n)
+	}
+	return n, nil
+}
+
+// MustParseVersion parses a version known to be valid; it panics on error.
+func MustParseVersion(s string) Version {
+	v, err := ParseVersion(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Compare returns -1, 0 or 1 ordering v against o. Qualifiers compare
+// lexically, absent qualifier sorting first (OSGi semantics).
+func (v Version) Compare(o Version) int {
+	if v.Major != o.Major {
+		return sign(v.Major - o.Major)
+	}
+	if v.Minor != o.Minor {
+		return sign(v.Minor - o.Minor)
+	}
+	if v.Micro != o.Micro {
+		return sign(v.Micro - o.Micro)
+	}
+	return strings.Compare(v.Qualifier, o.Qualifier)
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the version in canonical form.
+func (v Version) String() string {
+	base := fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Micro)
+	if v.Qualifier != "" {
+		return base + "." + v.Qualifier
+	}
+	return base
+}
+
+// Range is an OSGi version range: either a single floor version
+// ("1.2" == [1.2, ∞)) or an interval like "[1.0,2.0)".
+type Range struct {
+	Low, High         Version
+	IncLow, IncHigh   bool
+	Unbounded         bool // no upper bound
+	parsedFromDefault bool
+}
+
+// AnyVersion matches every version (the default when a header omits one).
+var AnyVersion = Range{Unbounded: true, IncLow: true, parsedFromDefault: true}
+
+// ParseRange parses an OSGi version range.
+func ParseRange(s string) (Range, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return AnyVersion, nil
+	}
+	if s[0] != '[' && s[0] != '(' {
+		v, err := ParseVersion(s)
+		if err != nil {
+			return Range{}, err
+		}
+		return Range{Low: v, IncLow: true, Unbounded: true}, nil
+	}
+	if len(s) < 2 {
+		return Range{}, fmt.Errorf("manifest: bad range %q", s)
+	}
+	last := s[len(s)-1]
+	if last != ']' && last != ')' {
+		return Range{}, fmt.Errorf("manifest: range %q missing terminator", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	if len(parts) != 2 {
+		return Range{}, fmt.Errorf("manifest: range %q must have two endpoints", s)
+	}
+	low, err := ParseVersion(parts[0])
+	if err != nil {
+		return Range{}, fmt.Errorf("manifest: range %q low: %w", s, err)
+	}
+	high, err := ParseVersion(parts[1])
+	if err != nil {
+		return Range{}, fmt.Errorf("manifest: range %q high: %w", s, err)
+	}
+	r := Range{
+		Low:     low,
+		High:    high,
+		IncLow:  s[0] == '[',
+		IncHigh: last == ']',
+	}
+	if c := low.Compare(high); c > 0 || (c == 0 && !(r.IncLow && r.IncHigh)) {
+		return Range{}, fmt.Errorf("manifest: range %q is empty", s)
+	}
+	return r, nil
+}
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v Version) bool {
+	cLow := v.Compare(r.Low)
+	if cLow < 0 || (cLow == 0 && !r.IncLow) {
+		return false
+	}
+	if r.Unbounded {
+		return true
+	}
+	cHigh := v.Compare(r.High)
+	if cHigh > 0 || (cHigh == 0 && !r.IncHigh) {
+		return false
+	}
+	return true
+}
+
+// String renders the range.
+func (r Range) String() string {
+	if r.Unbounded {
+		if r.parsedFromDefault {
+			return "0.0.0"
+		}
+		return r.Low.String()
+	}
+	lo, hi := "(", ")"
+	if r.IncLow {
+		lo = "["
+	}
+	if r.IncHigh {
+		hi = "]"
+	}
+	return fmt.Sprintf("%s%s,%s%s", lo, r.Low, r.High, hi)
+}

@@ -1,0 +1,243 @@
+package osgi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ldap"
+)
+
+// Standard service property keys (OSGi core spec §5.2.5).
+const (
+	PropObjectClass    = "objectClass"
+	PropServiceID      = "service.id"
+	PropServiceRanking = "service.ranking"
+)
+
+// ErrServiceUnregistered is returned for operations on a dead registration.
+var ErrServiceUnregistered = errors.New("osgi: service already unregistered")
+
+// ServiceRegistration is the registrar-side handle to a published service.
+type ServiceRegistration struct {
+	ref *ServiceReference
+}
+
+// ServiceReference is the consumer-side handle to a published service.
+type ServiceReference struct {
+	id           int64
+	interfaces   []string
+	props        ldap.Properties
+	object       any
+	bundle       *Bundle
+	fw           *Framework
+	unregistered bool
+}
+
+// ID returns the framework-assigned service.id.
+func (r *ServiceReference) ID() int64 { return r.id }
+
+// Interfaces returns the service's published interface names.
+func (r *ServiceReference) Interfaces() []string {
+	out := make([]string, len(r.interfaces))
+	copy(out, r.interfaces)
+	return out
+}
+
+// Bundle returns the registering bundle.
+func (r *ServiceReference) Bundle() *Bundle { return r.bundle }
+
+// Property returns a service property (case-insensitive key), or nil.
+func (r *ServiceReference) Property(key string) any {
+	r.fw.mu.Lock()
+	defer r.fw.mu.Unlock()
+	return lookupProp(r.props, key)
+}
+
+// Properties returns a copy of all service properties.
+func (r *ServiceReference) Properties() ldap.Properties {
+	r.fw.mu.Lock()
+	defer r.fw.mu.Unlock()
+	out := make(ldap.Properties, len(r.props))
+	for k, v := range r.props {
+		out[k] = v
+	}
+	return out
+}
+
+// Ranking returns service.ranking, defaulting to zero.
+func (r *ServiceReference) Ranking() int {
+	if v, ok := r.Property(PropServiceRanking).(int); ok {
+		return v
+	}
+	return 0
+}
+
+func lookupProp(props ldap.Properties, key string) any {
+	if v, ok := props[key]; ok {
+		return v
+	}
+	for k, v := range props {
+		if equalFold(k, key) {
+			return v
+		}
+	}
+	return nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Reference returns the consumer-side view of the registration.
+func (sr *ServiceRegistration) Reference() *ServiceReference { return sr.ref }
+
+// SetProperties replaces the service's custom properties (objectClass and
+// service.id are preserved) and fires a ServiceModified event.
+func (sr *ServiceRegistration) SetProperties(props ldap.Properties) error {
+	fw := sr.ref.fw
+	fw.mu.Lock()
+	if sr.ref.unregistered {
+		fw.mu.Unlock()
+		return ErrServiceUnregistered
+	}
+	next := make(ldap.Properties, len(props)+2)
+	for k, v := range props {
+		next[k] = v
+	}
+	next[PropObjectClass] = sr.ref.interfaces
+	next[PropServiceID] = sr.ref.id
+	sr.ref.props = next
+	fw.mu.Unlock()
+	fw.dispatchServiceEvent(ServiceEvent{Type: ServiceModified, Reference: sr.ref})
+	return nil
+}
+
+// Unregister withdraws the service. Listeners observe ServiceUnregistering
+// before the reference becomes invalid.
+func (sr *ServiceRegistration) Unregister() error {
+	fw := sr.ref.fw
+	fw.mu.Lock()
+	if sr.ref.unregistered {
+		fw.mu.Unlock()
+		return ErrServiceUnregistered
+	}
+	fw.mu.Unlock()
+	// Listeners see the service still live during UNREGISTERING, per spec.
+	fw.dispatchServiceEvent(ServiceEvent{Type: ServiceUnregistering, Reference: sr.ref})
+	fw.mu.Lock()
+	sr.ref.unregistered = true
+	delete(fw.services, sr.ref.id)
+	fw.mu.Unlock()
+	return nil
+}
+
+// registerService publishes object under the given interface names.
+func (fw *Framework) registerService(b *Bundle, interfaces []string, object any, props ldap.Properties) (*ServiceRegistration, error) {
+	if len(interfaces) == 0 {
+		return nil, errors.New("osgi: service must declare at least one interface")
+	}
+	if object == nil {
+		return nil, errors.New("osgi: nil service object")
+	}
+	fw.mu.Lock()
+	if b != nil && (b.state != Active && b.state != Starting && b.state != Stopping) {
+		fw.mu.Unlock()
+		return nil, fmt.Errorf("osgi: bundle %s in state %v cannot register services", b.SymbolicName(), b.state)
+	}
+	id := fw.nextServiceID
+	fw.nextServiceID++
+	all := make(ldap.Properties, len(props)+2)
+	for k, v := range props {
+		all[k] = v
+	}
+	ifaces := make([]string, len(interfaces))
+	copy(ifaces, interfaces)
+	all[PropObjectClass] = ifaces
+	all[PropServiceID] = id
+	ref := &ServiceReference{
+		id:         id,
+		interfaces: ifaces,
+		props:      all,
+		object:     object,
+		bundle:     b,
+		fw:         fw,
+	}
+	fw.services[id] = ref
+	fw.mu.Unlock()
+	fw.dispatchServiceEvent(ServiceEvent{Type: ServiceRegistered, Reference: ref})
+	return &ServiceRegistration{ref: ref}, nil
+}
+
+// getServiceReferences returns live references exposing iface (empty
+// string = any) whose properties satisfy filter, best-first: higher
+// service.ranking wins, ties broken by lower service.id (older service).
+func (fw *Framework) getServiceReferences(iface string, filter *ldap.Filter) []*ServiceReference {
+	fw.mu.Lock()
+	var refs []*ServiceReference
+	for _, ref := range fw.services {
+		if ref.unregistered {
+			continue
+		}
+		if iface != "" && !contains(ref.interfaces, iface) {
+			continue
+		}
+		if !filter.Matches(ref.props) {
+			continue
+		}
+		refs = append(refs, ref)
+	}
+	fw.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool {
+		ri, rj := rankingOf(refs[i]), rankingOf(refs[j])
+		if ri != rj {
+			return ri > rj
+		}
+		return refs[i].id < refs[j].id
+	})
+	return refs
+}
+
+func rankingOf(r *ServiceReference) int {
+	if v, ok := lookupProp(r.props, PropServiceRanking).(int); ok {
+		return v
+	}
+	return 0
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// getService dereferences a service object; nil if unregistered.
+func (fw *Framework) getService(ref *ServiceReference) any {
+	if ref == nil {
+		return nil
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if ref.unregistered {
+		return nil
+	}
+	return ref.object
+}

@@ -1,0 +1,203 @@
+package osgi
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ldap"
+)
+
+// ServiceTracker watches the registry for services matching an interface
+// and optional filter, maintaining a live set and invoking callbacks as
+// matches come and go — the org.osgi.util.tracker.ServiceTracker
+// analogue that adaptation managers and the DRCR's resolving-service
+// discovery build on.
+type ServiceTracker struct {
+	fw     *Framework
+	iface  string
+	filter *ldap.Filter
+
+	mu      sync.Mutex
+	tracked map[int64]*ServiceReference
+	onAdd   func(ref *ServiceReference, svc any)
+	onRem   func(ref *ServiceReference, svc any)
+	remove  func()
+	open    bool
+}
+
+// TrackerOptions configures a ServiceTracker.
+type TrackerOptions struct {
+	// Interface restricts tracking to services exposing this interface;
+	// empty tracks everything the filter matches.
+	Interface string
+	// Filter further restricts matches; nil matches all.
+	Filter *ldap.Filter
+	// OnAdd fires when a matching service appears (and once for each
+	// pre-existing match when the tracker opens).
+	OnAdd func(ref *ServiceReference, svc any)
+	// OnRemove fires when a tracked service disappears or stops matching.
+	OnRemove func(ref *ServiceReference, svc any)
+}
+
+// NewServiceTracker creates a closed tracker; call Open.
+func NewServiceTracker(fw *Framework, opts TrackerOptions) *ServiceTracker {
+	return &ServiceTracker{
+		fw:      fw,
+		iface:   opts.Interface,
+		filter:  opts.Filter,
+		tracked: map[int64]*ServiceReference{},
+		onAdd:   opts.OnAdd,
+		onRem:   opts.OnRemove,
+	}
+}
+
+// Open starts tracking: existing matches are reported through OnAdd, then
+// registry events keep the set current.
+func (t *ServiceTracker) Open() {
+	t.mu.Lock()
+	if t.open {
+		t.mu.Unlock()
+		return
+	}
+	t.open = true
+	t.mu.Unlock()
+	t.remove = t.fw.AddServiceListener(ServiceListenerFunc(t.serviceChanged), nil)
+	for _, ref := range t.fw.getServiceReferences(t.iface, t.filter) {
+		t.add(ref)
+	}
+}
+
+// Close stops tracking; OnRemove fires for every tracked service.
+func (t *ServiceTracker) Close() {
+	t.mu.Lock()
+	if !t.open {
+		t.mu.Unlock()
+		return
+	}
+	t.open = false
+	refs := make([]*ServiceReference, 0, len(t.tracked))
+	for _, ref := range t.tracked {
+		refs = append(refs, ref)
+	}
+	t.tracked = map[int64]*ServiceReference{}
+	t.mu.Unlock()
+	if t.remove != nil {
+		t.remove()
+		t.remove = nil
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+	if t.onRem != nil {
+		for _, ref := range refs {
+			t.onRem(ref, t.fw.getService(ref))
+		}
+	}
+}
+
+// Size reports the number of currently tracked services.
+func (t *ServiceTracker) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tracked)
+}
+
+// References returns the tracked references, best (highest ranking,
+// oldest) first.
+func (t *ServiceTracker) References() []*ServiceReference {
+	t.mu.Lock()
+	refs := make([]*ServiceReference, 0, len(t.tracked))
+	for _, ref := range t.tracked {
+		refs = append(refs, ref)
+	}
+	t.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool {
+		ri, rj := rankingOf(refs[i]), rankingOf(refs[j])
+		if ri != rj {
+			return ri > rj
+		}
+		return refs[i].id < refs[j].id
+	})
+	return refs
+}
+
+// Services returns the tracked service objects, best first.
+func (t *ServiceTracker) Services() []any {
+	refs := t.References()
+	out := make([]any, 0, len(refs))
+	for _, ref := range refs {
+		if svc := t.fw.getService(ref); svc != nil {
+			out = append(out, svc)
+		}
+	}
+	return out
+}
+
+// Best returns the best tracked service, or nil.
+func (t *ServiceTracker) Best() any {
+	svcs := t.Services()
+	if len(svcs) == 0 {
+		return nil
+	}
+	return svcs[0]
+}
+
+func (t *ServiceTracker) matches(ref *ServiceReference) bool {
+	if t.iface != "" && !contains(ref.interfaces, t.iface) {
+		return false
+	}
+	return t.filter.Matches(ref.props)
+}
+
+func (t *ServiceTracker) serviceChanged(ev ServiceEvent) {
+	t.mu.Lock()
+	open := t.open
+	t.mu.Unlock()
+	if !open {
+		return
+	}
+	switch ev.Type {
+	case ServiceRegistered:
+		if t.matches(ev.Reference) {
+			t.add(ev.Reference)
+		}
+	case ServiceModified:
+		// Property changes can move a service in or out of scope.
+		t.mu.Lock()
+		_, had := t.tracked[ev.Reference.id]
+		t.mu.Unlock()
+		match := t.matches(ev.Reference)
+		switch {
+		case match && !had:
+			t.add(ev.Reference)
+		case !match && had:
+			t.drop(ev.Reference)
+		}
+	case ServiceUnregistering:
+		t.drop(ev.Reference)
+	}
+}
+
+func (t *ServiceTracker) add(ref *ServiceReference) {
+	t.mu.Lock()
+	if _, dup := t.tracked[ref.id]; dup {
+		t.mu.Unlock()
+		return
+	}
+	t.tracked[ref.id] = ref
+	t.mu.Unlock()
+	if t.onAdd != nil {
+		t.onAdd(ref, t.fw.getService(ref))
+	}
+}
+
+func (t *ServiceTracker) drop(ref *ServiceReference) {
+	t.mu.Lock()
+	if _, had := t.tracked[ref.id]; !had {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.tracked, ref.id)
+	t.mu.Unlock()
+	if t.onRem != nil {
+		t.onRem(ref, t.fw.getService(ref))
+	}
+}

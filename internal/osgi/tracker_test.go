@@ -1,0 +1,149 @@
+package osgi
+
+import (
+	"testing"
+
+	"repro/internal/ldap"
+)
+
+func TestTrackerSeesPreexistingServices(t *testing.T) {
+	fw := NewFramework()
+	if _, err := fw.RegisterService([]string{"i"}, &dummyService{"pre"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var added []string
+	tr := NewServiceTracker(fw, TrackerOptions{
+		Interface: "i",
+		OnAdd:     func(ref *ServiceReference, svc any) { added = append(added, svc.(*dummyService).name) },
+	})
+	tr.Open()
+	defer tr.Close()
+	if len(added) != 1 || added[0] != "pre" {
+		t.Fatalf("added = %v", added)
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+func TestTrackerAddRemoveCallbacks(t *testing.T) {
+	fw := NewFramework()
+	var added, removed []string
+	tr := NewServiceTracker(fw, TrackerOptions{
+		Interface: "i",
+		OnAdd:     func(ref *ServiceReference, svc any) { added = append(added, svc.(*dummyService).name) },
+		OnRemove:  func(ref *ServiceReference, svc any) { removed = append(removed, ref.Property("nm").(string)) },
+	})
+	tr.Open()
+	defer tr.Close()
+	reg, err := fw.RegisterService([]string{"i"}, &dummyService{"a"}, ldap.Properties{"nm": "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.RegisterService([]string{"other"}, &dummyService{"x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 1 || tr.Size() != 1 {
+		t.Fatalf("added = %v size = %d", added, tr.Size())
+	}
+	if err := reg.Unregister(); err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "a" {
+		t.Fatalf("removed = %v", removed)
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+func TestTrackerFilterAndModification(t *testing.T) {
+	fw := NewFramework()
+	tr := NewServiceTracker(fw, TrackerOptions{
+		Interface: "i",
+		Filter:    ldap.MustParse("(grade>=5)"),
+	})
+	tr.Open()
+	defer tr.Close()
+	reg, err := fw.RegisterService([]string{"i"}, &dummyService{}, ldap.Properties{"grade": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 {
+		t.Fatal("low-grade service tracked")
+	}
+	// Property change moves it into scope…
+	if err := reg.SetProperties(ldap.Properties{"grade": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1 {
+		t.Fatal("upgraded service not tracked")
+	}
+	// …and out again.
+	if err := reg.SetProperties(ldap.Properties{"grade": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 {
+		t.Fatal("downgraded service still tracked")
+	}
+}
+
+func TestTrackerBestByRanking(t *testing.T) {
+	fw := NewFramework()
+	tr := NewServiceTracker(fw, TrackerOptions{Interface: "i"})
+	tr.Open()
+	defer tr.Close()
+	if tr.Best() != nil {
+		t.Fatal("phantom best")
+	}
+	if _, err := fw.RegisterService([]string{"i"}, &dummyService{"low"}, ldap.Properties{PropServiceRanking: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.RegisterService([]string{"i"}, &dummyService{"high"}, ldap.Properties{PropServiceRanking: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Best().(*dummyService).name; got != "high" {
+		t.Fatalf("best = %q", got)
+	}
+	if got := len(tr.Services()); got != 2 {
+		t.Fatalf("services = %d", got)
+	}
+	refs := tr.References()
+	if len(refs) != 2 || rankingOf(refs[0]) < rankingOf(refs[1]) {
+		t.Fatalf("references out of order")
+	}
+}
+
+func TestTrackerCloseReportsRemovals(t *testing.T) {
+	fw := NewFramework()
+	var removed int
+	tr := NewServiceTracker(fw, TrackerOptions{
+		Interface: "i",
+		OnRemove:  func(*ServiceReference, any) { removed++ },
+	})
+	tr.Open()
+	if _, err := fw.RegisterService([]string{"i"}, &dummyService{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.RegisterService([]string{"i"}, &dummyService{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	tr.Close() // idempotent
+	if removed != 2 {
+		t.Fatalf("removed = %d", removed)
+	}
+	// After close, registry churn is ignored.
+	if _, err := fw.RegisterService([]string{"i"}, &dummyService{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 {
+		t.Fatal("closed tracker tracked a service")
+	}
+	// Reopen works.
+	tr.Open()
+	if tr.Size() != 3 {
+		t.Fatalf("reopened size = %d", tr.Size())
+	}
+	tr.Close()
+}

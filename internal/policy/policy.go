@@ -1,0 +1,289 @@
+// Package policy implements the constraint-resolving services of the
+// paper's DRCR: the internal admission policy plus the "customized
+// resolving service" extension point that applications plug in through
+// the service registry to fit their context (§1, §2.2, §4.3).
+//
+// A resolving service answers one question: given the real-time contracts
+// already admitted on this system, may this candidate also be admitted
+// without impairing anyone's contract? Several classic answers are
+// provided: declared-budget utilization, rate-monotonic response-time
+// analysis, and the EDF density bound.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Contract is the real-time contract a component declares in its
+// descriptor, reduced to what admission analysis needs.
+type Contract struct {
+	// Name identifies the component.
+	Name string
+	// CPU is the processor the task is pinned to.
+	CPU int
+	// Priority orders preemption; lower is more urgent.
+	Priority int
+	// CPUUsage is the declared CPU budget fraction (descriptor cpuusage).
+	CPUUsage float64
+	// Period is the release period; 0 for aperiodic components.
+	Period time.Duration
+	// Importance ranks the component for adaptation decisions (higher =
+	// more important; the descriptor's optional importance attribute).
+	Importance int
+}
+
+// Cost returns the per-period execution budget implied by the declared
+// CPU usage (C = U·T). Zero for aperiodic contracts.
+func (c Contract) Cost() time.Duration {
+	if c.Period <= 0 {
+		return 0
+	}
+	return time.Duration(c.CPUUsage * float64(c.Period))
+}
+
+// View is the global system picture a resolving service reasons over: the
+// DRCR's accurate global view of promised contracts (§2.2).
+type View struct {
+	NumCPUs  int
+	Admitted []Contract
+}
+
+// OnCPU returns the admitted contracts pinned to the given processor.
+func (v View) OnCPU(cpuID int) []Contract {
+	var out []Contract
+	for _, c := range v.Admitted {
+		if c.CPU == cpuID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Decision is a resolving service's verdict.
+type Decision struct {
+	Admit  bool
+	Reason string
+}
+
+func admit(format string, args ...any) Decision {
+	return Decision{Admit: true, Reason: fmt.Sprintf(format, args...)}
+}
+
+func deny(format string, args ...any) Decision {
+	return Decision{Admit: false, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Resolver is the resolving-service contract. Implementations must be
+// stateless with respect to a single Admit call so DRCR can consult them
+// speculatively.
+type Resolver interface {
+	// Name identifies the policy in logs and service properties.
+	Name() string
+	// Admit decides whether cand fits alongside view.Admitted.
+	Admit(view View, cand Contract) Decision
+}
+
+// ServiceInterface is the service-registry interface name under which
+// customized resolving services are published for DRCR to discover.
+const ServiceInterface = "drcom.ResolvingService"
+
+// Utilization admits while the summed declared budgets on the candidate's
+// CPU stay within Bound. This is the DRCR's internal default: it enforces
+// exactly what components promised via cpuusage.
+type Utilization struct {
+	// Bound is the per-CPU budget ceiling; 0 means 1.0 (full CPU).
+	Bound float64
+}
+
+// Name implements Resolver.
+func (u Utilization) Name() string { return "utilization" }
+
+// Admit implements Resolver.
+func (u Utilization) Admit(view View, cand Contract) Decision {
+	bound := u.Bound
+	if bound <= 0 {
+		bound = 1.0
+	}
+	sum := cand.CPUUsage
+	for _, c := range view.OnCPU(cand.CPU) {
+		sum += c.CPUUsage
+	}
+	const eps = 1e-9
+	if sum > bound+eps {
+		return deny("cpu%d budget %.3f exceeds bound %.3f", cand.CPU, sum, bound)
+	}
+	return admit("cpu%d budget %.3f within bound %.3f", cand.CPU, sum, bound)
+}
+
+// RMA performs exact rate-monotonic response-time analysis over the
+// periodic contracts on the candidate's CPU, using declared budgets as
+// execution costs and declared priorities for preemption order. The
+// candidate and every already-admitted task must meet their implicit
+// deadlines (D = T).
+type RMA struct{}
+
+// Name implements Resolver.
+func (RMA) Name() string { return "rma" }
+
+// Admit implements Resolver.
+func (RMA) Admit(view View, cand Contract) Decision {
+	tasks := append(view.OnCPU(cand.CPU), cand)
+	var periodic []Contract
+	for _, c := range tasks {
+		if c.Period > 0 {
+			periodic = append(periodic, c)
+		}
+	}
+	// Higher urgency first (lower priority number, then shorter period).
+	sort.Slice(periodic, func(i, j int) bool {
+		if periodic[i].Priority != periodic[j].Priority {
+			return periodic[i].Priority < periodic[j].Priority
+		}
+		return periodic[i].Period < periodic[j].Period
+	})
+	for i, c := range periodic {
+		r, ok := responseTime(c, periodic[:i])
+		if !ok || r > c.Period {
+			return deny("task %s response %v exceeds period %v", c.Name, r, c.Period)
+		}
+	}
+	return admit("all %d periodic tasks schedulable on cpu%d", len(periodic), cand.CPU)
+}
+
+// responseTime iterates R = C + Σ ceil(R/Tj)·Cj over the strictly
+// higher-priority set hp.
+func responseTime(c Contract, hp []Contract) (time.Duration, bool) {
+	cost := c.Cost()
+	if cost <= 0 {
+		return 0, true
+	}
+	r := cost
+	for iter := 0; iter < 1000; iter++ {
+		next := cost
+		for _, h := range hp {
+			hc := h.Cost()
+			if hc <= 0 || h.Period <= 0 {
+				continue
+			}
+			n := time.Duration(math.Ceil(float64(r) / float64(h.Period)))
+			next += n * hc
+		}
+		if next == r {
+			return r, true
+		}
+		if next > c.Period*64 { // diverging: unschedulable
+			return next, false
+		}
+		r = next
+	}
+	return r, false
+}
+
+// EDF admits while total density on the candidate's CPU stays at or below
+// one — the exact bound for earliest-deadline-first with implicit
+// deadlines, included as an alternative policy the framework can be
+// extended with (§1).
+type EDF struct{}
+
+// Name implements Resolver.
+func (EDF) Name() string { return "edf" }
+
+// Admit implements Resolver.
+func (EDF) Admit(view View, cand Contract) Decision {
+	sum := cand.CPUUsage
+	for _, c := range view.OnCPU(cand.CPU) {
+		sum += c.CPUUsage
+	}
+	const eps = 1e-9
+	if sum > 1+eps {
+		return deny("cpu%d density %.3f exceeds 1", cand.CPU, sum)
+	}
+	return admit("cpu%d density %.3f ≤ 1", cand.CPU, sum)
+}
+
+// Chain consults resolvers in order; everyone must admit, mirroring the
+// DRCR consulting its internal service and then every customized service
+// (§4.3: "when both services return positive results").
+type Chain []Resolver
+
+// Name implements Resolver.
+func (ch Chain) Name() string {
+	names := make([]string, len(ch))
+	for i, r := range ch {
+		names[i] = r.Name()
+	}
+	return "chain(" + joinComma(names) + ")"
+}
+
+// Admit implements Resolver.
+func (ch Chain) Admit(view View, cand Contract) Decision {
+	for _, r := range ch {
+		if d := r.Admit(view, cand); !d.Admit {
+			return deny("%s: %s", r.Name(), d.Reason)
+		}
+	}
+	return admit("all %d resolvers admitted %s", len(ch), cand.Name)
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+// Static always answers the same verdict; the paper's simulated
+// customized service is Static{Admit: true}.
+type Static struct {
+	AdmitAll bool
+	Label    string
+}
+
+// Name implements Resolver.
+func (s Static) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	if s.AdmitAll {
+		return "always-admit"
+	}
+	return "always-deny"
+}
+
+// Admit implements Resolver.
+func (s Static) Admit(View, Contract) Decision {
+	if s.AdmitAll {
+		return admit("static admit")
+	}
+	return deny("static deny")
+}
+
+// Func adapts a plain function to Resolver, for application-specific
+// customized resolving services.
+type Func struct {
+	Label string
+	F     func(view View, cand Contract) Decision
+}
+
+// Name implements Resolver.
+func (f Func) Name() string { return f.Label }
+
+// Admit implements Resolver.
+func (f Func) Admit(view View, cand Contract) Decision { return f.F(view, cand) }
+
+// Interface-compliance checks.
+var (
+	_ Resolver = Utilization{}
+	_ Resolver = RMA{}
+	_ Resolver = EDF{}
+	_ Resolver = Chain(nil)
+	_ Resolver = Static{}
+	_ Resolver = Func{}
+)

@@ -1,0 +1,105 @@
+package ipc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Semaphore is a named counting semaphore with non-blocking operations,
+// the RTAI rt_sem analogue. Real-time code must never block on the
+// management plane (paper §3.2), so acquisition is try-style: a task
+// that fails to acquire skips the guarded work in this job and retries
+// next period.
+type Semaphore struct {
+	name string
+	mu   sync.Mutex
+	cnt  int
+	max  int
+
+	acquired  uint64
+	contended uint64
+}
+
+// Name returns the semaphore name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Value returns the current count.
+func (s *Semaphore) Value() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cnt
+}
+
+// TryAcquire takes one unit if available, without blocking.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cnt <= 0 {
+		s.contended++
+		return false
+	}
+	s.cnt--
+	s.acquired++
+	return true
+}
+
+// Release returns one unit; counts are capped at the initial value so a
+// double release cannot mint permits.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cnt < s.max {
+		s.cnt++
+	}
+}
+
+// Stats reports successful acquisitions and contended (failed) attempts.
+func (s *Semaphore) Stats() (acquired, contended uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acquired, s.contended
+}
+
+// CreateSemaphore allocates a named semaphore with the given initial
+// (and maximum) count.
+func (r *Registry) CreateSemaphore(name string, count int) (*Semaphore, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("ipc: semaphore count %d must be positive", count)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sems == nil {
+		r.sems = map[string]*Semaphore{}
+	}
+	if _, dup := r.sems[name]; dup {
+		return nil, fmt.Errorf("%w: semaphore %q", ErrExists, name)
+	}
+	s := &Semaphore{name: name, cnt: count, max: count}
+	r.sems[name] = s
+	return s, nil
+}
+
+// Semaphore looks up a semaphore by name.
+func (r *Registry) Semaphore(name string) (*Semaphore, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: semaphore %q", ErrNotFound, name)
+	}
+	return s, nil
+}
+
+// DeleteSemaphore removes a semaphore.
+func (r *Registry) DeleteSemaphore(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sems[name]; !ok {
+		return fmt.Errorf("%w: semaphore %q", ErrNotFound, name)
+	}
+	delete(r.sems, name)
+	return nil
+}

@@ -1,0 +1,283 @@
+package rtos
+
+import (
+	"container/heap"
+
+	"repro/internal/sim"
+)
+
+// readyQueue is a priority heap of runnable jobs. Under fixed priority it
+// orders by (priority, seq): lower priority value first, FIFO within a
+// level, and re-enqueueing a job assigns a fresh seq, which yields
+// round-robin rotation among equal priorities when the quantum expires.
+// Under EDF it orders by (absolute deadline, seq).
+type readyQueue struct {
+	items []*job
+	edf   bool
+}
+
+func (q *readyQueue) Len() int { return len(q.items) }
+
+func (q *readyQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.edf {
+		if a.absDeadline != b.absDeadline {
+			return a.absDeadline < b.absDeadline
+		}
+		return a.seq < b.seq
+	}
+	if a.task.spec.Priority != b.task.spec.Priority {
+		return a.task.spec.Priority < b.task.spec.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *readyQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *readyQueue) Push(x any) { q.items = append(q.items, x.(*job)) }
+
+func (q *readyQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *readyQueue) push(j *job) {
+	j.queued = true
+	heap.Push(q, j)
+}
+
+func (q *readyQueue) pop() *job {
+	if len(q.items) == 0 {
+		return nil
+	}
+	j := heap.Pop(q).(*job)
+	j.queued = false
+	return j
+}
+
+func (q *readyQueue) peek() *job {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// remove withdraws a specific job (used by Suspend).
+func (q *readyQueue) remove(j *job) {
+	for i, it := range q.items {
+		if it == j {
+			heap.Remove(q, i)
+			j.queued = false
+			return
+		}
+	}
+}
+
+// cpu is one simulated processor with its own run queue.
+type cpu struct {
+	id         int
+	ready      readyQueue
+	running    *job
+	sliceStart sim.Time
+	complEv    *sim.Event
+	quantEv    *sim.Event
+	nextSeq    uint64
+
+	busy sim.Duration // accumulated execution time, for utilization reports
+}
+
+// enqueue admits a job and preempts the running job if the newcomer is
+// strictly more urgent.
+func (c *cpu) enqueue(k *Kernel, j *job, now sim.Time) {
+	j.seq = c.nextSeq
+	c.nextSeq++
+	c.ready.push(j)
+	if c.running == nil {
+		c.dispatch(k, now)
+		return
+	}
+	if c.ready.edf {
+		if j.absDeadline < c.running.absDeadline {
+			c.preemptRunning(now)
+			c.dispatch(k, now)
+		}
+		return // no quantum rotation under EDF
+	}
+	if j.task.spec.Priority < c.running.task.spec.Priority {
+		c.preemptRunning(now)
+		c.dispatch(k, now)
+		return
+	}
+	// An equal-priority arrival starts round-robin rotation if the
+	// current slice has no quantum armed yet.
+	if k.quantum > 0 && c.quantEv == nil && j.task.spec.Priority == c.running.task.spec.Priority {
+		c.armQuantum(k, now)
+	}
+}
+
+// dispatch starts the most urgent ready job if the CPU is idle.
+func (c *cpu) dispatch(k *Kernel, now sim.Time) {
+	if c.running != nil {
+		return
+	}
+	j := c.ready.pop()
+	if j == nil {
+		return
+	}
+	c.running = j
+	c.sliceStart = now
+	k.trace(now, TraceDispatch, j.task.spec.Name, c.id)
+	if !j.dispatched {
+		j.dispatched = true
+		j.dispatchTime = now
+		t := j.task
+		t.latency.Add(int64(now.Sub(j.nominal)))
+		if t.spec.Body != nil {
+			t.spec.Body(&JobContext{
+				Kernel:  k,
+				Task:    t,
+				Now:     now,
+				Nominal: j.nominal,
+				Index:   t.jobsDone + t.skips, // monotone job index
+			})
+		}
+	}
+	c.scheduleSlice(k, now)
+}
+
+// scheduleSlice arms the completion event and, if round-robin applies,
+// the quantum event.
+func (c *cpu) scheduleSlice(k *Kernel, now sim.Time) {
+	j := c.running
+	complAt := now.Add(j.remaining)
+	ev, err := k.clock.Schedule(complAt, "complete:"+j.task.spec.Name, func(at sim.Time) {
+		c.complEv = nil
+		c.complete(k, at)
+	})
+	if err != nil {
+		panic(err) // virtual-time scheduling cannot fail here
+	}
+	c.complEv = ev
+	if k.quantum > 0 && !c.ready.edf {
+		if next := c.ready.peek(); next != nil && next.task.spec.Priority == j.task.spec.Priority {
+			c.armQuantum(k, now)
+		}
+	}
+}
+
+// armQuantum schedules the end of the running job's time slice, measured
+// from the start of the current slice. If the job completes first, the
+// completion event cancels the quantum.
+func (c *cpu) armQuantum(k *Kernel, now sim.Time) {
+	j := c.running
+	if j == nil || c.quantEv != nil {
+		return
+	}
+	at := c.sliceStart.Add(k.quantum)
+	if at >= c.sliceStart.Add(j.remaining) {
+		return // completion arrives first; no rotation needed
+	}
+	if at < now {
+		at = now
+	}
+	qev, err := k.clock.Schedule(at, "quantum:"+j.task.spec.Name, func(fireAt sim.Time) {
+		c.quantEv = nil
+		c.rotate(k, fireAt)
+	})
+	if err != nil {
+		panic(err)
+	}
+	c.quantEv = qev
+}
+
+// preemptRunning stops the current job, accounting consumed time, and
+// returns it to the ready queue.
+func (c *cpu) preemptRunning(now sim.Time) {
+	j := c.running
+	if j == nil {
+		return
+	}
+	j.task.k.trace(now, TracePreempt, j.task.spec.Name, c.id)
+	elapsed := now.Sub(c.sliceStart)
+	j.remaining -= elapsed
+	if j.remaining < 0 {
+		j.remaining = 0
+	}
+	c.busy += elapsed
+	c.cancelSliceEvents()
+	c.running = nil
+	j.seq = c.nextSeq
+	c.nextSeq++
+	c.ready.push(j)
+}
+
+// rotate ends the running job's quantum, moving it behind its
+// equal-priority peers.
+func (c *cpu) rotate(k *Kernel, now sim.Time) {
+	j := c.running
+	if j == nil {
+		return
+	}
+	elapsed := now.Sub(c.sliceStart)
+	j.remaining -= elapsed
+	if j.remaining < 0 {
+		j.remaining = 0
+	}
+	c.busy += elapsed
+	c.cancelSliceEvents()
+	c.running = nil
+	if j.remaining > 0 {
+		k.trace(now, TraceRotate, j.task.spec.Name, c.id)
+		j.seq = c.nextSeq
+		c.nextSeq++
+		c.ready.push(j)
+	} else {
+		c.finishJob(k, j, now)
+	}
+	c.dispatch(k, now)
+}
+
+// complete finishes the running job.
+func (c *cpu) complete(k *Kernel, now sim.Time) {
+	j := c.running
+	if j == nil {
+		return
+	}
+	c.busy += now.Sub(c.sliceStart)
+	c.cancelSliceEvents()
+	c.running = nil
+	j.remaining = 0
+	c.finishJob(k, j, now)
+	c.dispatch(k, now)
+}
+
+func (c *cpu) finishJob(k *Kernel, j *job, now sim.Time) {
+	t := j.task
+	if t.state == TaskDeleted {
+		return
+	}
+	k.trace(now, TraceComplete, t.spec.Name, c.id)
+	t.response.Add(int64(now.Sub(j.nominal)))
+	t.jobsDone++
+	if d := t.deadline(); d > 0 && now > j.nominal.Add(d) {
+		t.misses++
+	}
+	if t.pending == j {
+		t.pending = nil
+	}
+}
+
+func (c *cpu) cancelSliceEvents() {
+	if c.complEv != nil {
+		c.complEv.Cancel()
+		c.complEv = nil
+	}
+	if c.quantEv != nil {
+		c.quantEv.Cancel()
+		c.quantEv = nil
+	}
+}

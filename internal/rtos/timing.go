@@ -1,0 +1,112 @@
+package rtos
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// LoadMode captures the two system-load environments of the paper's
+// evaluation (§4.4): an otherwise idle machine ("light") and a machine
+// whose non-real-time side runs at ~100% CPU ("stress").
+type LoadMode int
+
+// Load modes.
+const (
+	LightLoad LoadMode = iota + 1
+	StressLoad
+)
+
+func (m LoadMode) String() string {
+	switch m {
+	case LightLoad:
+		return "light"
+	case StressLoad:
+		return "stress"
+	default:
+		return "unknown"
+	}
+}
+
+// TimingModel reproduces the *shape* of RTAI periodic-timer behaviour on
+// the paper's testbed (HP nc6400, RTAI 3.5 dual kernel, hardware timer in
+// periodic mode). The paper's Table 1 shows two regimes:
+//
+//   - Light load: scheduling latency centred near zero (mean ≈ −1 µs)
+//     with a wide spread (AVEDEV ≈ 3.7 µs, min/max ≈ ±25 µs). On an idle
+//     laptop the CPU drops into power-saving states between 1 kHz jobs;
+//     wake-up cost and periodic-mode rounding scatter dispatch both early
+//     and late around the nominal release.
+//
+//   - Stress load: mean strongly negative (≈ −21 µs) with a *tight*
+//     spread (AVEDEV ≈ 0.35 µs). A fully busy CPU never idles, so jitter
+//     collapses; what remains is the systematic early-fire offset of the
+//     periodic-mode timer calibration, which the RTAI latency test
+//     reports as negative latency.
+//
+// The model is therefore: latency_offset = Offset + N(0, Sigma) +
+// occasional two-sided excursions of scale ExcursionScale with
+// probability ExcursionProb. All values are added to the nominal release
+// time before scheduling; queueing delay behind higher-priority tasks is
+// then produced mechanically by the scheduler.
+//
+// Absolute constants were calibrated against the paper's Table 1 and are
+// documented per mode below; the comparative claims (HRC ≈ pure RTAI,
+// light vs stress regime change) emerge from the simulation itself.
+type TimingModel struct {
+	// Offset is the systematic timer calibration drift applied to every
+	// release (negative = fires early).
+	Offset time.Duration
+	// Sigma is the standard deviation of per-release Gaussian noise.
+	Sigma time.Duration
+	// ExcursionProb is the per-release probability of a large two-sided
+	// excursion (deep idle-state wakeup, SMI, cache refill burst).
+	ExcursionProb float64
+	// ExcursionScale is the magnitude scale of excursions; the excursion
+	// is uniform in ±[0.5,1.0]·ExcursionScale.
+	ExcursionScale time.Duration
+}
+
+// LightTiming is the calibrated light-load model: near-zero mean, wide
+// spread (idle-state wakeups dominate).
+func LightTiming() TimingModel {
+	return TimingModel{
+		Offset:         -600 * time.Nanosecond,
+		Sigma:          3800 * time.Nanosecond,
+		ExcursionProb:  0.012,
+		ExcursionScale: 22 * time.Microsecond,
+	}
+}
+
+// StressTiming is the calibrated stress-load model: strongly negative
+// mean from periodic-timer calibration, tight spread (CPU never idles).
+func StressTiming() TimingModel {
+	return TimingModel{
+		Offset:         -21200 * time.Nanosecond,
+		Sigma:          420 * time.Nanosecond,
+		ExcursionProb:  0.0008,
+		ExcursionScale: 3500 * time.Nanosecond,
+	}
+}
+
+// TimingForMode returns the calibrated model for a load mode.
+func TimingForMode(m LoadMode) TimingModel {
+	if m == StressLoad {
+		return StressTiming()
+	}
+	return LightTiming()
+}
+
+// SampleOffset draws one release-time perturbation.
+func (tm TimingModel) SampleOffset(r *sim.Rand) time.Duration {
+	d := tm.Offset + time.Duration(float64(tm.Sigma)*r.NormFloat64())
+	if tm.ExcursionProb > 0 && r.Bool(tm.ExcursionProb) {
+		mag := 0.5 + 0.5*r.Float64()
+		exc := time.Duration(mag * float64(tm.ExcursionScale))
+		if r.Bool(0.5) {
+			exc = -exc
+		}
+		d += exc
+	}
+	return d
+}

@@ -1,0 +1,115 @@
+package scr
+
+import (
+	"testing"
+
+	"repro/internal/osgi"
+)
+
+// rebindingInstance implements Rebinder: it survives service churn.
+type rebindingInstance struct {
+	recordingInstance
+	rebinds int
+	lastN   int
+}
+
+func (r *rebindingInstance) Rebind(cc *ComponentContext) {
+	r.rebinds++
+	r.lastN = len(cc.BoundServices("greeter"))
+}
+
+const dynamicConsumerXML = `<component name="dynCons">
+  <implementation class="demo.DynConsumer"/>
+  <reference name="greeter" interface="demo.Greeter" cardinality="0..n" policy="dynamic"/>
+</component>`
+
+func TestDynamicPolicyRebindsInPlace(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	inst := &rebindingInstance{}
+	if err := rt.RegisterFactory("demo.DynConsumer", func() Instance { return inst }); err != nil {
+		t.Fatal(err)
+	}
+	cb := installDSBundle(t, fw, "dyn.bundle", dynamicConsumerXML)
+	if err := cb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Optional reference: active immediately with zero bindings.
+	comp, _ := rt.Component("dynCons")
+	if comp.State() != StateActive {
+		t.Fatalf("state = %v", comp.State())
+	}
+	if inst.activated != 1 {
+		t.Fatalf("activations = %d", inst.activated)
+	}
+
+	// A provider arrives: the instance is rebound, NOT restarted.
+	prov := &recordingInstance{}
+	if err := rt.RegisterFactory("demo.Provider", func() Instance { return prov }); err != nil {
+		t.Fatal(err)
+	}
+	pb := installDSBundle(t, fw, "provider.bundle", providerXML)
+	if err := pb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.activated != 1 || inst.deactivated != 0 {
+		t.Fatalf("dynamic component restarted: act=%d deact=%d", inst.activated, inst.deactivated)
+	}
+	if inst.rebinds == 0 || inst.lastN != 1 {
+		t.Fatalf("rebinds=%d lastN=%d", inst.rebinds, inst.lastN)
+	}
+
+	// Provider leaves: rebound back to zero, still not restarted.
+	before := inst.rebinds
+	if err := pb.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.deactivated != 0 {
+		t.Fatal("dynamic component deactivated on optional departure")
+	}
+	if inst.rebinds <= before || inst.lastN != 0 {
+		t.Fatalf("rebinds=%d lastN=%d after departure", inst.rebinds, inst.lastN)
+	}
+}
+
+func TestStaticPolicyStillRestarts(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	// Same consumer but static policy and mandatory cardinality: churn
+	// must deactivate/reactivate, even though the instance implements
+	// Rebinder.
+	inst := &rebindingInstance{}
+	if err := rt.RegisterFactory("demo.Consumer", func() Instance { return inst }); err != nil {
+		t.Fatal(err)
+	}
+	prov := &recordingInstance{}
+	if err := rt.RegisterFactory("demo.Provider", func() Instance { return prov }); err != nil {
+		t.Fatal(err)
+	}
+	staticConsumer := `<component name="consumer">
+	  <implementation class="demo.Consumer"/>
+	  <reference name="greeter" interface="demo.Greeter" cardinality="1..1" policy="static"/>
+	</component>`
+	cb := installDSBundle(t, fw, "consumer.bundle", staticConsumer)
+	if err := cb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pb := installDSBundle(t, fw, "provider.bundle", providerXML)
+	if err := pb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.activated != 1 {
+		t.Fatalf("activations = %d", inst.activated)
+	}
+	if err := pb.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.deactivated != 1 {
+		t.Fatalf("static component not deactivated on departure: %d", inst.deactivated)
+	}
+	if inst.rebinds != 0 {
+		t.Fatalf("static component was rebound %d times", inst.rebinds)
+	}
+}

@@ -1,0 +1,336 @@
+package scr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/manifest"
+	"repro/internal/osgi"
+)
+
+const providerXML = `<?xml version="1.0"?>
+<component name="provider">
+  <implementation class="demo.Provider"/>
+  <service><provide interface="demo.Greeter"/></service>
+</component>`
+
+const consumerXML = `<?xml version="1.0"?>
+<component name="consumer">
+  <implementation class="demo.Consumer"/>
+  <reference name="greeter" interface="demo.Greeter" cardinality="1..1" policy="dynamic"/>
+</component>`
+
+type recordingInstance struct {
+	name        string
+	activated   int
+	deactivated int
+	lastCtx     *ComponentContext
+	failOnce    bool
+}
+
+func (r *recordingInstance) Activate(cc *ComponentContext) error {
+	if r.failOnce {
+		r.failOnce = false
+		return errors.New("refused")
+	}
+	r.activated++
+	r.lastCtx = cc
+	return nil
+}
+
+func (r *recordingInstance) Deactivate() { r.deactivated++ }
+
+func TestParseDescription(t *testing.T) {
+	d, err := ParseDescription(consumerXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "consumer" || d.Implementation != "demo.Consumer" || !d.Enabled {
+		t.Fatalf("desc = %+v", d)
+	}
+	if len(d.References) != 1 {
+		t.Fatalf("refs = %v", d.References)
+	}
+	ref := d.References[0]
+	if ref.Interface != "demo.Greeter" || ref.Cardinality != Mandatory || ref.Policy != "dynamic" {
+		t.Fatalf("ref = %+v", ref)
+	}
+}
+
+func TestParseDescriptionDefaults(t *testing.T) {
+	d, err := ParseDescription(`<component name="x"><implementation class="c"/><reference interface="i"/></component>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.References[0].Cardinality != Mandatory || d.References[0].Policy != "static" {
+		t.Fatalf("defaults = %+v", d.References[0])
+	}
+}
+
+func TestParseDescriptionErrors(t *testing.T) {
+	cases := []string{
+		`not xml at all <<<`,
+		`<component><implementation class="c"/></component>`, // no name
+		`<component name="x"/>`,                              // no implementation
+		`<component name="x"><implementation class="c"/><service><provide/></service></component>`, // provide w/o iface
+		`<component name="x"><implementation class="c"/><reference name="r"/></component>`,         // ref w/o iface
+		`<component name="x"><implementation class="c"/><reference interface="i" cardinality="2..3"/></component>`,
+		`<component name="x"><implementation class="c"/><reference interface="i" policy="wild"/></component>`,
+		`<component name="x"><implementation class="c"/><reference interface="i" target="(((bad"/></component>`,
+	}
+	for i, src := range cases {
+		if _, err := ParseDescription(src); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}
+
+func TestParseDisabledComponent(t *testing.T) {
+	d, err := ParseDescription(`<component name="x" enabled="false"><implementation class="c"/></component>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Enabled {
+		t.Fatal("enabled=false not honoured")
+	}
+}
+
+func installDSBundle(t *testing.T, fw *osgi.Framework, name, xmlSrc string) *osgi.Bundle {
+	t.Helper()
+	m := manifest.New(name, manifest.MustParseVersion("1.0"))
+	m.ServiceComponents = []string{"OSGI-INF/c.xml"}
+	b, err := fw.Install(osgi.Definition{
+		Manifest:  m,
+		Resources: map[string]string{"OSGI-INF/c.xml": xmlSrc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestActivationOnSatisfaction(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+
+	prov := &recordingInstance{name: "p"}
+	cons := &recordingInstance{name: "c"}
+	if err := rt.RegisterFactory("demo.Provider", func() Instance { return prov }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterFactory("demo.Consumer", func() Instance { return cons }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer first: must stay unsatisfied.
+	cb := installDSBundle(t, fw, "consumer.bundle", consumerXML)
+	if err := cb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := rt.Component("consumer")
+	if !ok {
+		t.Fatal("consumer not managed")
+	}
+	if c.State() != StateUnsatisfied {
+		t.Fatalf("consumer state = %v", c.State())
+	}
+	if cons.activated != 0 {
+		t.Fatal("consumer activated without provider")
+	}
+
+	// Provider arrives: both go active.
+	pb := installDSBundle(t, fw, "provider.bundle", providerXML)
+	if err := pb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := rt.Component("provider")
+	if p.State() != StateActive {
+		t.Fatalf("provider state = %v", p.State())
+	}
+	if c.State() != StateActive {
+		t.Fatalf("consumer state = %v", c.State())
+	}
+	if cons.activated != 1 {
+		t.Fatalf("consumer activations = %d", cons.activated)
+	}
+	bound := cons.lastCtx.BoundServices("greeter")
+	if len(bound) != 1 {
+		t.Fatalf("bound = %v", bound)
+	}
+	if bound[0] != prov {
+		t.Fatal("bound service is not the provider instance")
+	}
+
+	// Provider departs: consumer deactivates.
+	if err := pb.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateUnsatisfied {
+		t.Fatalf("consumer state after departure = %v", c.State())
+	}
+	if cons.deactivated != 1 {
+		t.Fatalf("consumer deactivations = %d", cons.deactivated)
+	}
+}
+
+func TestDisabledComponentNeverActivates(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	inst := &recordingInstance{}
+	if err := rt.RegisterFactory("c", func() Instance { return inst }); err != nil {
+		t.Fatal(err)
+	}
+	b := installDSBundle(t, fw, "b", `<component name="x" enabled="false"><implementation class="c"/></component>`)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := rt.Component("x")
+	if comp.State() != StateDisabled || inst.activated != 0 {
+		t.Fatalf("state = %v, activations = %d", comp.State(), inst.activated)
+	}
+}
+
+func TestNoFactoryNoActivation(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	b := installDSBundle(t, fw, "b", providerXML)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := rt.Component("provider")
+	if comp.State() == StateActive {
+		t.Fatal("activated without a factory")
+	}
+	// Late factory registration + reevaluation picks it up.
+	inst := &recordingInstance{}
+	if err := rt.RegisterFactory("demo.Provider", func() Instance { return inst }); err != nil {
+		t.Fatal(err)
+	}
+	rt.Reevaluate()
+	if comp.State() != StateActive {
+		t.Fatalf("state after late factory = %v", comp.State())
+	}
+}
+
+func TestActivateErrorKeepsUnsatisfied(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	inst := &recordingInstance{failOnce: true}
+	if err := rt.RegisterFactory("demo.Provider", func() Instance { return inst }); err != nil {
+		t.Fatal(err)
+	}
+	b := installDSBundle(t, fw, "b", providerXML)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := rt.Component("provider")
+	if comp.State() == StateActive && inst.activated == 0 {
+		t.Fatal("component active despite failed Activate")
+	}
+	// Retry succeeds.
+	rt.Reevaluate()
+	if comp.State() != StateActive {
+		t.Fatalf("state = %v after retry", comp.State())
+	}
+}
+
+func TestProvidedServiceRegistered(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	inst := &recordingInstance{}
+	if err := rt.RegisterFactory("demo.Provider", func() Instance { return inst }); err != nil {
+		t.Fatal(err)
+	}
+	b := installDSBundle(t, fw, "b", providerXML)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	refs := fw.ServiceReferences("demo.Greeter", nil)
+	if len(refs) != 1 {
+		t.Fatalf("provided services = %d", len(refs))
+	}
+	if got := refs[0].Property("component.name"); got != "provider" {
+		t.Fatalf("component.name = %v", got)
+	}
+}
+
+func TestRuntimeCloseDeactivates(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	inst := &recordingInstance{}
+	if err := rt.RegisterFactory("demo.Provider", func() Instance { return inst }); err != nil {
+		t.Fatal(err)
+	}
+	b := installDSBundle(t, fw, "b", providerXML)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	if inst.deactivated != 1 {
+		t.Fatalf("deactivations = %d", inst.deactivated)
+	}
+}
+
+func TestFactoryValidation(t *testing.T) {
+	rt := NewRuntime(osgi.NewFramework())
+	defer rt.Close()
+	if err := rt.RegisterFactory("", nil); err == nil {
+		t.Fatal("empty factory accepted")
+	}
+	if err := rt.RegisterFactory("c", func() Instance { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterFactory("c", func() Instance { return nil }); err == nil {
+		t.Fatal("duplicate factory accepted")
+	}
+}
+
+func TestMultipleCardinalityBindsAll(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	// Two providers, one consumer with 1..n.
+	for i := 0; i < 2; i++ {
+		inst := &recordingInstance{name: fmt.Sprintf("p%d", i)}
+		cls := fmt.Sprintf("demo.P%d", i)
+		if err := rt.RegisterFactory(cls, func() Instance { return inst }); err != nil {
+			t.Fatal(err)
+		}
+		xmlSrc := fmt.Sprintf(`<component name="p%d"><implementation class="%s"/><service><provide interface="demo.Greeter"/></service></component>`, i, cls)
+		b := installDSBundle(t, fw, fmt.Sprintf("pb%d", i), xmlSrc)
+		if err := b.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cons := &recordingInstance{}
+	if err := rt.RegisterFactory("demo.Consumer", func() Instance { return cons }); err != nil {
+		t.Fatal(err)
+	}
+	xmlSrc := `<component name="consumer"><implementation class="demo.Consumer"/><reference name="all" interface="demo.Greeter" cardinality="1..n"/></component>`
+	cb := installDSBundle(t, fw, "cb", xmlSrc)
+	if err := cb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cons.lastCtx.BoundServices("all")); got != 2 {
+		t.Fatalf("bound = %d, want 2", got)
+	}
+}
+
+func TestComponentsSorted(t *testing.T) {
+	fw := osgi.NewFramework()
+	rt := NewRuntime(fw)
+	defer rt.Close()
+	b := installDSBundle(t, fw, "b", providerXML)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.Components()); got != 1 {
+		t.Fatalf("components = %d", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual nanosecond clock, an event queue with stable ordering, and
+// seedable pseudo-random streams.
+//
+// Everything above it in this repository (the simulated RTAI kernel, the
+// DRCR runtime, the benchmark harness) advances time exclusively through
+// this package, which makes every experiment reproducible bit-for-bit from
+// its seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts trivially
+// to and from time.Duration, which is also nanosecond-based.
+type Duration = time.Duration
+
+// Infinity is a sentinel time later than any schedulable event.
+const Infinity Time = math.MaxInt64
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string {
+	if t == Infinity {
+		return "+inf"
+	}
+	return Duration(t).String()
+}
+
+// Handler is a callback run when an event fires. The handler may schedule
+// further events on the same clock.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence. The zero Event is invalid; obtain events
+// through Clock.Schedule.
+type Event struct {
+	at      Time
+	seq     uint64 // tie-break so equal-time events fire in schedule order
+	fn      Handler
+	index   int // heap index, -1 when not queued
+	cancel  bool
+	label   string
+	onClock *Clock
+}
+
+// Time reports when the event is (or was) due.
+func (e *Event) Time() Time { return e.at }
+
+// Label reports the diagnostic label given at schedule time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+// Cancel removes the event from its queue. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 && e.onClock != nil {
+		heap.Remove(&e.onClock.queue, e.index)
+	}
+}
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event virtual clock. The zero value is ready to use
+// at time zero. Clock is not safe for concurrent use; the simulation is
+// single-threaded by design.
+type Clock struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	running bool
+}
+
+// ErrReentrantRun is returned when Run variants are invoked from inside an
+// event handler.
+var ErrReentrantRun = errors.New("sim: reentrant clock run")
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending reports the number of queued events.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Fired reports the total number of events executed so far.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// (before Now) is an error; scheduling exactly at Now is allowed and the
+// event runs on the next step. The label is for diagnostics only.
+func (c *Clock) Schedule(at Time, label string, fn Handler) (*Event, error) {
+	if fn == nil {
+		return nil, errors.New("sim: nil handler")
+	}
+	if at < c.now {
+		return nil, fmt.Errorf("sim: schedule %q at %v before now %v", label, at, c.now)
+	}
+	e := &Event{at: at, seq: c.nextSeq, fn: fn, label: label, onClock: c, index: -1}
+	c.nextSeq++
+	heap.Push(&c.queue, e)
+	return e, nil
+}
+
+// After queues fn to run d from now. Negative d is an error.
+func (c *Clock) After(d Duration, label string, fn Handler) (*Event, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("sim: negative delay %v for %q", d, label)
+	}
+	return c.Schedule(c.now.Add(d), label, fn)
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// time. It reports whether an event fired.
+func (c *Clock) Step() bool {
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		c.now = e.at
+		c.fired++
+		e.fn(c.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is strictly after deadline, then advances the clock to deadline.
+func (c *Clock) RunUntil(deadline Time) error {
+	if c.running {
+		return ErrReentrantRun
+	}
+	if deadline < c.now {
+		return fmt.Errorf("sim: deadline %v before now %v", deadline, c.now)
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	for len(c.queue) > 0 {
+		next := c.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if deadline > c.now && deadline != Infinity {
+		c.now = deadline
+	}
+	return nil
+}
+
+// RunFor advances the clock by d, firing all events due in the window.
+func (c *Clock) RunFor(d Duration) error {
+	if d < 0 {
+		return fmt.Errorf("sim: negative run duration %v", d)
+	}
+	return c.RunUntil(c.now.Add(d))
+}
+
+// Drain fires every pending event. It guards against runaway simulations
+// with maxEvents; zero means no limit.
+func (c *Clock) Drain(maxEvents uint64) error {
+	if c.running {
+		return ErrReentrantRun
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	var n uint64
+	for c.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			return fmt.Errorf("sim: drain exceeded %d events", maxEvents)
+		}
+	}
+	return nil
+}
+
+func (c *Clock) peek() *Event {
+	for len(c.queue) > 0 {
+		e := c.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&c.queue)
+	}
+	return nil
+}

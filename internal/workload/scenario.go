@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/manifest"
+	"repro/internal/osgi"
+	"repro/internal/policy"
+	"repro/internal/rtos"
+)
+
+// ScenarioStep is one observed point of the §4.3 dynamicity scenario.
+type ScenarioStep struct {
+	At          string
+	Description string
+	CalcState   string
+	DispState   string
+}
+
+// ScenarioResult is the full §4.3 walk-through.
+type ScenarioResult struct {
+	Steps  []ScenarioStep
+	Events []core.Event
+}
+
+// RunDynamicityScenario executes the paper's §4.3 scenario through real
+// bundles: Display installed first (unsatisfied), Calculation's bundle
+// started (both resolve and activate after the internal and customized
+// resolving services agree), then Calculation stopped (Display is found
+// unsatisfied and disabled).
+func RunDynamicityScenario(seed uint64) (ScenarioResult, error) {
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{Seed: seed})
+	d, err := core.New(fw, k, core.Options{})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	defer d.Close()
+
+	// The paper's external customized resolving service; in the
+	// simulation both resolving services answer true (§4.3).
+	if _, err := fw.RegisterService(
+		[]string{policy.ServiceInterface},
+		policy.Resolver(policy.Static{AdmitAll: true, Label: "customized"}),
+		nil,
+	); err != nil {
+		return ScenarioResult{}, err
+	}
+
+	var res ScenarioResult
+	note := func(step, desc string) {
+		s := ScenarioStep{At: step, Description: desc, CalcState: "-", DispState: "-"}
+		if info, ok := d.Component("calc"); ok {
+			s.CalcState = info.State.String()
+		}
+		if info, ok := d.Component("disp"); ok {
+			s.DispState = info.State.String()
+		}
+		res.Steps = append(res.Steps, s)
+	}
+
+	mkBundle := func(symbolic, res, xmlSrc string) (*osgi.Bundle, error) {
+		m := manifest.New(symbolic, manifest.MustParseVersion("1.0"))
+		m.DRComComponents = []string{res}
+		return fw.Install(osgi.Definition{
+			Manifest:  m,
+			Resources: map[string]string{res: xmlSrc},
+		})
+	}
+
+	dispBundle, err := mkBundle("rtai.demo.display", "OSGI-INF/disp.xml", DisplayXML)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	calcBundle, err := mkBundle("rtai.demo.calc", "OSGI-INF/calc.xml", CalcXML)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	if err := dispBundle.Start(); err != nil {
+		return ScenarioResult{}, err
+	}
+	note("1", "Display bundle started; Calculation absent")
+	if st := mustState(d, "disp"); st != core.Unsatisfied {
+		return res, fmt.Errorf("workload: step 1: disp = %v, want UNSATISFIED", st)
+	}
+
+	if err := calcBundle.Start(); err != nil {
+		return ScenarioResult{}, err
+	}
+	note("2", "Calculation bundle started; resolving services consulted")
+	if st := mustState(d, "calc"); st != core.Active {
+		return res, fmt.Errorf("workload: step 2: calc = %v, want ACTIVE", st)
+	}
+	if st := mustState(d, "disp"); st != core.Active {
+		return res, fmt.Errorf("workload: step 2: disp = %v, want ACTIVE", st)
+	}
+
+	if err := k.Run(500 * time.Millisecond); err != nil {
+		return ScenarioResult{}, err
+	}
+	note("3", "system running; both RT tasks executing")
+
+	if err := calcBundle.Stop(); err != nil {
+		return ScenarioResult{}, err
+	}
+	note("4", "Calculation bundle stopped; DRCR re-resolves")
+	if st := mustState(d, "disp"); st != core.Unsatisfied {
+		return res, fmt.Errorf("workload: step 4: disp = %v, want UNSATISFIED", st)
+	}
+
+	if err := calcBundle.Start(); err != nil {
+		return ScenarioResult{}, err
+	}
+	note("5", "Calculation bundle restarted; Display reactivates")
+	if st := mustState(d, "disp"); st != core.Active {
+		return res, fmt.Errorf("workload: step 5: disp = %v, want ACTIVE", st)
+	}
+
+	res.Events = d.Events()
+	return res, nil
+}
+
+func mustState(d *core.DRCR, name string) core.State {
+	if info, ok := d.Component(name); ok {
+		return info.State
+	}
+	return 0
+}
+
+// OversubscribedSet builds n periodic component descriptors on one CPU
+// whose total declared budget is `total` (may exceed 1 to provoke
+// admission denials). Components are named c00, c01, … with descending
+// urgency.
+func OversubscribedSet(n int, total float64) ([]*descriptor.Component, error) {
+	if n <= 0 || n > 100 {
+		return nil, fmt.Errorf("workload: n %d out of range", n)
+	}
+	each := total / float64(n)
+	out := make([]*descriptor.Component, 0, n)
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf(`<component name="c%02d" type="periodic" cpuusage="%.4f">
+		  <implementation bincode="load.Task"/>
+		  <periodictask frequence="100" runoncup="0" priority="%d"/>
+		</component>`, i, each, i+1)
+		c, err := descriptor.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
