@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	latbench [-samples N] [-seed S] [-table1] [-hist] [-ablations] [-all]
+//	latbench [-samples N] [-seed S] [-workers W] [-table1] [-hist]
+//	         [-ablations] [-benchjson FILE] [-all]
 package main
 
 import (
@@ -32,18 +33,23 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design ablations")
 		gantt     = flag.Bool("gantt", false, "render a scheduler Gantt chart of the §4.2 pair")
 		dump      = flag.String("dump", "", "write raw HRC-light latency samples (ns) to this CSV file")
+		workers   = flag.Int("workers", 0, "goroutine pool size for parallel runs (0 = NumCPU)")
+		benchjson = flag.String("benchjson", "", "measure hot-path and Monte-Carlo perf, write JSON report to this file")
 		all       = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *hist, *ablations, *gantt = true, true, true, true
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && *dump == "" {
+	if !*table1 && !*hist && !*ablations && !*gantt && *dump == "" && *benchjson == "" {
 		*table1 = true // default action
 	}
 
 	if *table1 {
-		runTable1(*samples, *seed)
+		runTable1(*samples, *seed, *workers)
+	}
+	if *benchjson != "" {
+		runBenchJSON(*benchjson, *seed, *workers)
 	}
 	if *hist {
 		runHistograms(*samples, *seed)
@@ -111,15 +117,36 @@ func runDump(path string, samples int, seed uint64) {
 	fmt.Printf("wrote %d samples to %s\n", len(res.Samples), path)
 }
 
-func runTable1(samples int, seed uint64) {
+func runTable1(samples int, seed uint64, workers int) {
 	fmt.Printf("Running Table 1 with %d samples per configuration (seed %d)...\n\n", samples, seed)
-	out, rows, err := bench.Table1(samples, seed)
+	out, rows, err := bench.Table1Parallel(samples, seed, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
 	fmt.Println("Side by side with the published Table 1 (ns):")
 	fmt.Println(bench.CompareWithPaper(rows))
+}
+
+// runBenchJSON measures the simulation hot path plus the parallel
+// Monte-Carlo harness and writes the machine-readable BENCH_sim.json so
+// successive revisions carry a comparable performance trajectory.
+func runBenchJSON(path string, seed uint64, workers int) {
+	rep, err := bench.MeasurePerf(bench.PerfConfig{BaseSeed: seed, Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatPerf(rep))
+	fmt.Printf("kernel hot path: %.0f events/s, %.1f ns/event, %.4f allocs/event\n",
+		rep.Kernel.EventsPerSec, rep.Kernel.NSPerEvent, rep.Kernel.AllocsPerEvent)
+	fmt.Printf("wrote %s\n", path)
 }
 
 func runHistograms(samples int, seed uint64) {

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// DefaultWorkers is the worker-pool size the Monte-Carlo helpers use when
+// the caller passes workers <= 0: one goroutine per logical CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// forEachIndexed runs fn(0..n-1) across a pool of worker goroutines and
+// blocks until all complete. Each index runs exactly once; errors are
+// collected per index so the caller can report them deterministically.
+func forEachIndexed(n, workers int, fn func(i int) error) []error {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}
+
+// MonteCarlo draws n independent samples by calling fn with seeds
+// baseSeed, baseSeed+1, … baseSeed+n-1 across a pool of worker
+// goroutines. Each invocation must construct its own seeded System (a
+// kernel, clock, and workload of its own), so samples share no state and
+// each is individually deterministic; results are merged in seed order,
+// making the output identical for any worker count — including 1 — and
+// any goroutine interleave. On error the first failing seed wins.
+func MonteCarlo[T any](n int, baseSeed uint64, workers int, fn func(seed uint64) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := forEachIndexed(n, workers, func(i int) error {
+		v, err := fn(baseSeed + uint64(i))
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: monte-carlo seed %d: %w", baseSeed+uint64(i), err)
+		}
+	}
+	return out, nil
+}
+
+// MonteCarloLatency repeats the §4.2 latency experiment over `runs`
+// consecutive seeds in parallel and pools every post-warm-up sample into
+// one aggregate row, shrinking the seed-to-seed variance of any single
+// Table 1 cell. The per-seed results come back in seed order.
+func MonteCarloLatency(cfg workload.LatencyConfig, runs int, baseSeed uint64, workers int) ([]workload.LatencyResult, metrics.Row, error) {
+	results, err := MonteCarlo(runs, baseSeed, workers, func(seed uint64) (workload.LatencyResult, error) {
+		c := cfg
+		c.Seed = seed
+		return workload.RunLatency(c)
+	})
+	if err != nil {
+		return nil, metrics.Row{}, err
+	}
+	var pooled metrics.Series
+	for _, r := range results {
+		pooled.AddAll(r.Samples)
+	}
+	row := pooled.Row(fmt.Sprintf("%s ×%d", cfg.Label(), runs))
+	return results, row, nil
+}
+
+// Table1Parallel runs the four Table 1 configurations concurrently, each
+// against its own seeded System, and returns the rows in the paper's
+// fixed order. Output is byte-identical to the sequential Table1.
+func Table1Parallel(samples int, seed uint64, workers int) (string, []metrics.Row, error) {
+	configs := workload.Table1Configs(samples, seed)
+	rows := make([]metrics.Row, len(configs))
+	errs := forEachIndexed(len(configs), workers, func(i int) error {
+		res, err := workload.RunLatency(configs[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", configs[i].Label(), err)
+		}
+		rows[i] = res.Row
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return "", nil, fmt.Errorf("bench: table1: %w", err)
+		}
+	}
+	out := metrics.FormatTable("Table 1  Latency Test (light & stress) mode — ns", rows)
+	return out, rows, nil
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rtos"
+	"repro/internal/workload"
+)
+
+// PerfReport is the machine-readable benchmark snapshot cmd/latbench
+// writes to BENCH_sim.json. Successive revisions commit their baseline so
+// the repository carries a performance trajectory that regressions can be
+// compared against.
+type PerfReport struct {
+	// GoVersion and NumCPU describe the measuring environment.
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Workers is the goroutine-pool size used for the Monte-Carlo part.
+	Workers int `json:"workers"`
+	// Kernel is the single-threaded hot-path measurement.
+	Kernel KernelPerf `json:"kernel"`
+	// MonteCarlo is the parallel-harness measurement.
+	MonteCarlo MonteCarloPerf `json:"montecarlo"`
+}
+
+// KernelPerf measures the simulation hot path with the reference workload
+// of BenchmarkKernelThroughput: a 1 kHz periodic task run for SimSeconds
+// of virtual time on one OS thread.
+type KernelPerf struct {
+	SimSeconds     float64 `json:"sim_seconds"`
+	Events         uint64  `json:"events"`
+	WallNS         int64   `json:"wall_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NSPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// MonteCarloPerf measures the parallel Monte-Carlo harness: Runs
+// independent seeded §4.2 latency systems (HRC, light load) fanned across
+// the worker pool, with every sample pooled into Aggregate.
+type MonteCarloPerf struct {
+	Runs          int     `json:"runs"`
+	SamplesPerRun int     `json:"samples_per_run"`
+	BaseSeed      uint64  `json:"base_seed"`
+	WallNS        int64   `json:"wall_ns"`
+	AggregateAvg  float64 `json:"aggregate_avg_ns"`
+	AggregateDev  float64 `json:"aggregate_avedev_ns"`
+	AggregateMin  int64   `json:"aggregate_min_ns"`
+	AggregateMax  int64   `json:"aggregate_max_ns"`
+	AggregateN    int     `json:"aggregate_n"`
+}
+
+// PerfConfig sizes MeasurePerf. The zero value selects the reference
+// configuration the committed BENCH_sim.json baseline uses.
+type PerfConfig struct {
+	// SimSeconds of virtual time for the kernel hot-path run (default 20).
+	SimSeconds int
+	// Runs of the latency workload for the Monte-Carlo run (default 8).
+	Runs int
+	// SamplesPerRun per seeded system (default 10000).
+	SamplesPerRun int
+	// BaseSeed for the Monte-Carlo seed range (default 1).
+	BaseSeed uint64
+	// Workers for the goroutine pool (default runtime.NumCPU()).
+	Workers int
+}
+
+func (c *PerfConfig) applyDefaults() {
+	if c.SimSeconds <= 0 {
+		c.SimSeconds = 20
+	}
+	if c.Runs <= 0 {
+		c.Runs = 8
+	}
+	if c.SamplesPerRun <= 0 {
+		c.SamplesPerRun = 10000
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers()
+	}
+}
+
+// MeasurePerf runs both reference workloads and assembles the report.
+func MeasurePerf(cfg PerfConfig) (PerfReport, error) {
+	cfg.applyDefaults()
+	rep := PerfReport{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   cfg.Workers,
+	}
+	kp, err := measureKernel(cfg.SimSeconds)
+	if err != nil {
+		return PerfReport{}, err
+	}
+	rep.Kernel = kp
+	mp, err := measureMonteCarlo(cfg)
+	if err != nil {
+		return PerfReport{}, err
+	}
+	rep.MonteCarlo = mp
+	return rep, nil
+}
+
+// measureKernel drives the BenchmarkKernelThroughput workload for
+// simSeconds of virtual time, reading alloc counters around the run. A
+// one-second warm-up fills the event and job pools first so the numbers
+// reflect the allocation-free steady state.
+func measureKernel(simSeconds int) (KernelPerf, error) {
+	k := rtos.NewKernel(rtos.Config{Seed: 1})
+	task, err := k.CreateTask(rtos.TaskSpec{
+		Name: "tick", Type: rtos.Periodic, Period: time.Millisecond,
+		ExecTime: 30 * time.Microsecond,
+	})
+	if err != nil {
+		return KernelPerf{}, err
+	}
+	if err := task.Start(); err != nil {
+		return KernelPerf{}, err
+	}
+	if err := k.Run(time.Second); err != nil { // warm-up: pools fill here
+		return KernelPerf{}, err
+	}
+	startEvents := k.Clock().Fired()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	wallStart := time.Now()
+	if err := k.Run(time.Duration(simSeconds) * time.Second); err != nil {
+		return KernelPerf{}, err
+	}
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&after)
+	events := k.Clock().Fired() - startEvents
+	kp := KernelPerf{
+		SimSeconds: float64(simSeconds),
+		Events:     events,
+		WallNS:     wall.Nanoseconds(),
+	}
+	if events > 0 {
+		kp.EventsPerSec = float64(events) / wall.Seconds()
+		kp.NSPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		kp.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		kp.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	return kp, nil
+}
+
+func measureMonteCarlo(cfg PerfConfig) (MonteCarloPerf, error) {
+	lat := workload.LatencyConfig{Hybrid: true, Samples: cfg.SamplesPerRun}
+	wallStart := time.Now()
+	_, row, err := MonteCarloLatency(lat, cfg.Runs, cfg.BaseSeed, cfg.Workers)
+	if err != nil {
+		return MonteCarloPerf{}, err
+	}
+	wall := time.Since(wallStart)
+	return MonteCarloPerf{
+		Runs:          cfg.Runs,
+		SamplesPerRun: cfg.SamplesPerRun,
+		BaseSeed:      cfg.BaseSeed,
+		WallNS:        wall.Nanoseconds(),
+		AggregateAvg:  row.Average,
+		AggregateDev:  row.AveDev,
+		AggregateMin:  row.Min,
+		AggregateMax:  row.Max,
+		AggregateN:    row.N,
+	}, nil
+}
+
+// Encode renders the report the way the committed BENCH_sim.json is
+// stored: two-space indentation, trailing newline, human-diffable.
+func (r PerfReport) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatPerf renders the report for terminal output alongside the JSON.
+func FormatPerf(r PerfReport) string {
+	rows := []metrics.Row{{
+		Label:   "montecarlo aggregate",
+		Average: r.MonteCarlo.AggregateAvg,
+		AveDev:  r.MonteCarlo.AggregateDev,
+		Min:     r.MonteCarlo.AggregateMin,
+		Max:     r.MonteCarlo.AggregateMax,
+		N:       r.MonteCarlo.AggregateN,
+	}}
+	return metrics.FormatTable("Monte-Carlo pooled latency — ns", rows)
+}

@@ -193,6 +193,13 @@ type DRCR struct {
 	comps     map[string]*Component
 	factories map[string]BodyFactory
 
+	// admitted is the contract set of Active/Suspended components, kept
+	// sorted by name and maintained incrementally on every lifecycle
+	// transition so Resolve's fixed-point iterations never rebuild it.
+	// cpuLoad is the matching per-CPU summed declared budget.
+	admitted []policy.Contract
+	cpuLoad  []float64
+
 	events    []Event
 	listeners []func(Event)
 
@@ -343,14 +350,58 @@ func (d *DRCR) GlobalView() policy.View {
 
 func (d *DRCR) viewLocked() policy.View {
 	v := policy.View{NumCPUs: d.kernel.NumCPUs()}
-	names := d.sortedNamesLocked()
-	for _, n := range names {
-		c := d.comps[n]
-		if c.state == Active || c.state == Suspended {
-			v.Admitted = append(v.Admitted, contractOf(c.desc))
-		}
+	if len(d.admitted) > 0 {
+		v.Admitted = make([]policy.Contract, len(d.admitted))
+		copy(v.Admitted, d.admitted)
+	}
+	if len(d.cpuLoad) > 0 {
+		v.CPULoad = make([]float64, len(d.cpuLoad))
+		copy(v.CPULoad, d.cpuLoad)
 	}
 	return v
+}
+
+// admittedSet reports whether a state counts into the admission view.
+func admittedSet(s State) bool { return s == Active || s == Suspended }
+
+// noteTransitionLocked keeps the incremental admission view in sync with a
+// component's from → to move.
+func (d *DRCR) noteTransitionLocked(c *Component, from, to State) {
+	was, is := admittedSet(from), admittedSet(to)
+	if was == is {
+		return
+	}
+	name := c.desc.Name
+	i := sort.Search(len(d.admitted), func(i int) bool { return d.admitted[i].Name >= name })
+	if is {
+		d.admitted = append(d.admitted, policy.Contract{})
+		copy(d.admitted[i+1:], d.admitted[i:])
+		d.admitted[i] = contractOf(c.desc)
+	} else {
+		if i >= len(d.admitted) || d.admitted[i].Name != name {
+			return // not tracked; nothing to withdraw
+		}
+		d.admitted = append(d.admitted[:i], d.admitted[i+1:]...)
+	}
+	d.recomputeLoadLocked()
+}
+
+// recomputeLoadLocked refreshes the per-CPU budget accumulators from the
+// admitted set. It runs only when membership changes (not on every Resolve
+// iteration) and always sums in name order, so the totals are bit-for-bit
+// the ones a full rebuild would produce.
+func (d *DRCR) recomputeLoadLocked() {
+	if d.cpuLoad == nil {
+		d.cpuLoad = make([]float64, d.kernel.NumCPUs())
+	}
+	for i := range d.cpuLoad {
+		d.cpuLoad[i] = 0
+	}
+	for _, ct := range d.admitted {
+		if ct.CPU >= 0 && ct.CPU < len(d.cpuLoad) {
+			d.cpuLoad[ct.CPU] += ct.CPUUsage
+		}
+	}
 }
 
 func contractOf(desc *descriptor.Component) policy.Contract {

@@ -242,10 +242,16 @@ func (d *DRCR) Resolve() {
 func (d *DRCR) resolveOnce() (changed bool) {
 	// Deactivation: an admitted component whose inports lost their
 	// providers must go down (the Display case when Calculation stops).
+	// The sweep walks a snapshot of the admitted set (sorted by name), as
+	// deactivations shrink it mid-loop.
 	d.mu.Lock()
-	for _, name := range d.sortedNamesLocked() {
-		c := d.comps[name]
-		if c.state != Active && c.state != Suspended {
+	admittedNames := make([]string, len(d.admitted))
+	for i, ct := range d.admitted {
+		admittedNames[i] = ct.Name
+	}
+	for _, name := range admittedNames {
+		c, ok := d.comps[name]
+		if !ok || (c.state != Active && c.state != Suspended) {
 			continue
 		}
 		if missing := d.unsatisfiedInportLocked(c); missing != "" {
@@ -334,19 +340,21 @@ func (d *DRCR) unsatisfiedInportLocked(c *Component) string {
 }
 
 // findProviderLocked locates an admitted component whose outport can
-// satisfy the given inport.
+// satisfy the given inport. Only admitted components can provide, so the
+// walk covers the incremental admitted set (already sorted by name)
+// instead of re-sorting every component.
 func (d *DRCR) findProviderLocked(self string, in descriptor.Port) string {
-	for _, name := range d.sortedNamesLocked() {
-		if name == self {
+	for _, ct := range d.admitted {
+		if ct.Name == self {
 			continue
 		}
-		p := d.comps[name]
-		if p.state != Active && p.state != Suspended {
+		p, ok := d.comps[ct.Name]
+		if !ok {
 			continue
 		}
 		for _, out := range p.desc.OutPorts {
 			if out.CanSatisfy(in) {
-				return name
+				return ct.Name
 			}
 		}
 	}
@@ -506,6 +514,9 @@ func (d *DRCR) setStateLocked(c *Component, to State, reason string) {
 	}
 	c.state = to
 	c.lastReason = reason
+	// Keep the incremental admission view in sync before the event goes
+	// out: listeners may call back into the DRCR and must see it current.
+	d.noteTransitionLocked(c, from, to)
 	d.emitLocked(Event{At: d.kernel.Now(), Component: c.desc.Name, From: from, To: to, Reason: reason})
 }
 

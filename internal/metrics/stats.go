@@ -145,6 +145,17 @@ func (s *Series) Reset() {
 	s.min, s.max = 0, 0
 }
 
+// Reserve grows the sample buffer so at least n further Adds proceed
+// without reallocating, letting allocation-free hot paths record
+// observations.
+func (s *Series) Reserve(n int) {
+	if free := cap(s.samples) - len(s.samples); free < n {
+		grown := make([]Sample, len(s.samples), len(s.samples)+n)
+		copy(grown, s.samples)
+		s.samples = grown
+	}
+}
+
 // Row is one Table 1 row: a label with the four reported statistics.
 type Row struct {
 	Label   string

@@ -49,6 +49,11 @@ func (c Contract) Cost() time.Duration {
 type View struct {
 	NumCPUs  int
 	Admitted []Contract
+	// CPULoad, when non-nil, is the summed declared budget per processor
+	// over Admitted, maintained incrementally by the view's producer so
+	// resolvers need not rescan the contract list. Producers that do not
+	// track it leave it nil and resolvers fall back to summing Admitted.
+	CPULoad []float64
 }
 
 // OnCPU returns the admitted contracts pinned to the given processor.
@@ -60,6 +65,21 @@ func (v View) OnCPU(cpuID int) []Contract {
 		}
 	}
 	return out
+}
+
+// Load returns the summed declared budget on the given processor, using
+// the precomputed per-CPU accumulator when present.
+func (v View) Load(cpuID int) float64 {
+	if v.CPULoad != nil && cpuID >= 0 && cpuID < len(v.CPULoad) {
+		return v.CPULoad[cpuID]
+	}
+	var sum float64
+	for _, c := range v.Admitted {
+		if c.CPU == cpuID {
+			sum += c.CPUUsage
+		}
+	}
+	return sum
 }
 
 // Decision is a resolving service's verdict.
@@ -107,10 +127,7 @@ func (u Utilization) Admit(view View, cand Contract) Decision {
 	if bound <= 0 {
 		bound = 1.0
 	}
-	sum := cand.CPUUsage
-	for _, c := range view.OnCPU(cand.CPU) {
-		sum += c.CPUUsage
-	}
+	sum := cand.CPUUsage + view.Load(cand.CPU)
 	const eps = 1e-9
 	if sum > bound+eps {
 		return deny("cpu%d budget %.3f exceeds bound %.3f", cand.CPU, sum, bound)
@@ -193,10 +210,7 @@ func (EDF) Name() string { return "edf" }
 
 // Admit implements Resolver.
 func (EDF) Admit(view View, cand Contract) Decision {
-	sum := cand.CPUUsage
-	for _, c := range view.OnCPU(cand.CPU) {
-		sum += c.CPUUsage
-	}
+	sum := cand.CPUUsage + view.Load(cand.CPU)
 	const eps = 1e-9
 	if sum > 1+eps {
 		return deny("cpu%d density %.3f exceeds 1", cand.CPU, sum)

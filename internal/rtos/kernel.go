@@ -91,6 +91,8 @@ type Kernel struct {
 	tasks   map[string]*Task
 	reg     ipc.Registry
 	tracer  *Tracer
+
+	freeJobs *job // recycled job structs, linked through job.nextFree
 }
 
 // NewKernel boots a kernel with the given configuration.
@@ -112,10 +114,40 @@ func NewKernel(cfg Config) *Kernel {
 	}
 	k.cpus = make([]*cpu, cfg.NumCPUs)
 	for i := range k.cpus {
-		k.cpus[i] = &cpu{id: i}
-		k.cpus[i].ready.edf = cfg.Policy == EarliestDeadlineFirst
+		c := &cpu{id: i}
+		c.ready.edf = cfg.Policy == EarliestDeadlineFirst
+		// Bind the slice-event handlers once; the dispatcher re-arms them
+		// every slice without allocating fresh closures.
+		c.completeFn = func(at sim.Time) {
+			c.complEv = nil
+			c.complete(k, at)
+		}
+		c.quantumFn = func(at sim.Time) {
+			c.quantEv = nil
+			c.rotate(k, at)
+		}
+		k.cpus[i] = c
 	}
 	return k
+}
+
+// allocJob takes a job from the kernel's free list; steady-state release →
+// dispatch → complete cycles allocate nothing.
+func (k *Kernel) allocJob() *job {
+	if j := k.freeJobs; j != nil {
+		k.freeJobs = j.nextFree
+		j.nextFree = nil
+		return j
+	}
+	return &job{}
+}
+
+// recycleJob returns a finished (or withdrawn) job to the free list. The
+// caller must guarantee no live reference remains: not running, not in a
+// ready queue, and not a task's pending job.
+func (k *Kernel) recycleJob(j *job) {
+	*j = job{nextFree: k.freeJobs}
+	k.freeJobs = j
 }
 
 // Clock exposes the kernel's virtual clock.
@@ -161,7 +193,12 @@ func (k *Kernel) CreateTask(spec TaskSpec) (*Task, error) {
 		spec:  spec,
 		state: TaskCreated,
 		rng:   k.rng.Fork(),
+
+		releaseLabel:  "release:" + spec.Name,
+		completeLabel: "complete:" + spec.Name,
+		quantumLabel:  "quantum:" + spec.Name,
 	}
+	t.releaseFn = t.fireRelease
 	k.tasks[spec.Name] = t
 	return t, nil
 }

@@ -32,15 +32,24 @@ func (q *readyQueue) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (q *readyQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *readyQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].heapIdx = i
+	q.items[j].heapIdx = j
+}
 
-func (q *readyQueue) Push(x any) { q.items = append(q.items, x.(*job)) }
+func (q *readyQueue) Push(x any) {
+	it := x.(*job)
+	it.heapIdx = len(q.items)
+	q.items = append(q.items, it)
+}
 
 func (q *readyQueue) Pop() any {
 	old := q.items
 	n := len(old)
 	it := old[n-1]
 	old[n-1] = nil
+	it.heapIdx = -1
 	q.items = old[:n-1]
 	return it
 }
@@ -66,15 +75,14 @@ func (q *readyQueue) peek() *job {
 	return q.items[0]
 }
 
-// remove withdraws a specific job (used by Suspend).
+// remove withdraws a specific job (used by Suspend) through its stored
+// heap index — O(log n) instead of a linear scan of the ready queue.
 func (q *readyQueue) remove(j *job) {
-	for i, it := range q.items {
-		if it == j {
-			heap.Remove(q, i)
-			j.queued = false
-			return
-		}
+	if !j.queued || j.heapIdx < 0 || j.heapIdx >= len(q.items) || q.items[j.heapIdx] != j {
+		return
 	}
+	heap.Remove(q, j.heapIdx)
+	j.queued = false
 }
 
 // cpu is one simulated processor with its own run queue.
@@ -86,6 +94,11 @@ type cpu struct {
 	complEv    *sim.Event
 	quantEv    *sim.Event
 	nextSeq    uint64
+
+	// completeFn and quantumFn are the slice-event handlers, bound once at
+	// kernel construction so arming a slice allocates no closure.
+	completeFn sim.Handler
+	quantumFn  sim.Handler
 
 	busy sim.Duration // accumulated execution time, for utilization reports
 }
@@ -154,10 +167,7 @@ func (c *cpu) dispatch(k *Kernel, now sim.Time) {
 func (c *cpu) scheduleSlice(k *Kernel, now sim.Time) {
 	j := c.running
 	complAt := now.Add(j.remaining)
-	ev, err := k.clock.Schedule(complAt, "complete:"+j.task.spec.Name, func(at sim.Time) {
-		c.complEv = nil
-		c.complete(k, at)
-	})
+	ev, err := k.clock.Schedule(complAt, j.task.completeLabel, c.completeFn)
 	if err != nil {
 		panic(err) // virtual-time scheduling cannot fail here
 	}
@@ -184,10 +194,7 @@ func (c *cpu) armQuantum(k *Kernel, now sim.Time) {
 	if at < now {
 		at = now
 	}
-	qev, err := k.clock.Schedule(at, "quantum:"+j.task.spec.Name, func(fireAt sim.Time) {
-		c.quantEv = nil
-		c.rotate(k, fireAt)
-	})
+	qev, err := k.clock.Schedule(at, j.task.quantumLabel, c.quantumFn)
 	if err != nil {
 		panic(err)
 	}
@@ -237,6 +244,7 @@ func (c *cpu) rotate(k *Kernel, now sim.Time) {
 		c.ready.push(j)
 	} else {
 		c.finishJob(k, j, now)
+		k.recycleJob(j)
 	}
 	c.dispatch(k, now)
 }
@@ -252,6 +260,7 @@ func (c *cpu) complete(k *Kernel, now sim.Time) {
 	c.running = nil
 	j.remaining = 0
 	c.finishJob(k, j, now)
+	k.recycleJob(j)
 	c.dispatch(k, now)
 }
 

@@ -1,0 +1,126 @@
+package rtos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSuspendUnderContention withdraws queued jobs from the middle of a
+// deep, equal-priority ready queue — the case readyQueue.remove serves
+// through the stored heap index. The heap must stay intact: untouched
+// tasks keep completing on schedule, suspended tasks stop instantly, and
+// resuming realigns them to the next period boundary.
+func TestSuspendUnderContention(t *testing.T) {
+	// Rotation off: jobs behind the queue head stay undispatched, so
+	// Suspend must withdraw them rather than let them finish.
+	k := NewKernel(Config{Seed: 3, Quantum: -1})
+	const n = 20
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		task, err := k.CreateTask(TaskSpec{
+			Name: fmt.Sprintf("w%02d", i), Type: Periodic, Priority: 5,
+			Period: 10 * time.Millisecond, ExecTime: 400 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := task.Start(); err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = task
+	}
+	// Advance into the first release burst: one job is running, nineteen
+	// more sit in the ready queue at the same priority.
+	if err := k.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Withdraw every other task from the middle of the queue.
+	suspended := map[int]bool{}
+	for i := 3; i < n; i += 2 {
+		if err := tasks[i].Suspend(); err != nil {
+			t.Fatal(err)
+		}
+		suspended[i] = true
+	}
+	baseline := make([]uint64, n)
+	for i, task := range tasks {
+		baseline[i] = task.Stats().Jobs
+	}
+	// Run through the rest of the hyperperiod plus two more.
+	if err := k.Run(29 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		st := task.Stats()
+		got := st.Jobs - baseline[i]
+		if suspended[i] {
+			if got != 0 {
+				t.Errorf("%s: %d jobs completed while suspended, want 0", st.Name, got)
+			}
+			continue
+		}
+		// At least the 10 ms and 20 ms releases must have completed for
+		// every live task (the 30 ms release may still be in flight at
+		// the window edge) — a corrupted ready queue would starve some.
+		if got < 2 {
+			t.Errorf("%s: only %d jobs completed after suspensions, want >= 2", st.Name, got)
+		}
+	}
+	// Resume everyone; the next boundary is 40 ms and all must run again.
+	for i := range suspended {
+		if err := tasks[i].Resume(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumeBase := make([]uint64, n)
+	for i, task := range tasks {
+		resumeBase[i] = task.Stats().Jobs
+	}
+	// The realigned release lands at 40 ms; all 20 jobs of that burst
+	// (8 ms of demand) complete by ~48 ms, before the 50 ms releases can
+	// finish, so each resumed task counts exactly one completion.
+	if err := k.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		st := task.Stats()
+		got := st.Jobs - resumeBase[i]
+		if suspended[i] {
+			if got != 1 {
+				t.Errorf("%s: %d jobs after resume, want exactly 1", st.Name, got)
+			}
+		} else if got < 1 {
+			t.Errorf("%s: no jobs while resumed peers ran", st.Name)
+		}
+	}
+}
+
+// TestSuspendRunningJobCompletes pins the other half of the RTAI
+// semantics: suspending the task whose job is currently executing lets
+// that job finish at the next scheduling point instead of withdrawing it.
+func TestSuspendRunningJobCompletes(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	task, err := k.CreateTask(TaskSpec{
+		Name: "runner", Type: Periodic, Priority: 1,
+		Period: 10 * time.Millisecond, ExecTime: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(time.Millisecond); err != nil { // job is mid-execution
+		t.Fatal(err)
+	}
+	if err := task.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(19 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := task.Stats().Jobs; got != 1 {
+		t.Errorf("running job: %d completions after suspend, want exactly 1", got)
+	}
+}

@@ -129,7 +129,9 @@ func (s TaskSpec) validate(numCPU int) error {
 	return nil
 }
 
-// job is one release of a task.
+// job is one release of a task. Jobs are pooled on the kernel
+// (Kernel.allocJob/recycleJob); a finished job's struct is reused by a
+// later release.
 type job struct {
 	task         *Task
 	nominal      sim.Time
@@ -140,6 +142,8 @@ type job struct {
 	dispatchTime sim.Time
 	seq          uint64 // ready-queue ordering within a priority level
 	queued       bool
+	heapIdx      int  // position in the ready queue while queued
+	nextFree     *job // free-list link while recycled
 }
 
 // Task is a created RT task.
@@ -151,6 +155,15 @@ type Task struct {
 	releases  uint64 // periodic release counter (index of next release)
 	nextRelEv *sim.Event
 	pending   *job // released but not yet completed job
+
+	// Hot-path material precomputed at creation: the diagnostic labels the
+	// dispatcher stamps on events every slice, the release handler closure,
+	// and the nominal time of the release it will fire for.
+	releaseLabel  string
+	completeLabel string
+	quantumLabel  string
+	releaseFn     sim.Handler
+	nextNominal   sim.Time
 
 	rng *sim.Rand
 
@@ -220,6 +233,14 @@ func (t *Task) ResetStats() {
 	t.jobsDone, t.misses, t.skips = 0, 0, 0
 }
 
+// ReserveStats pre-sizes the latency and response sample buffers for n
+// further jobs, so a warmed-up dispatch cycle records its statistics
+// without allocating.
+func (t *Task) ReserveStats(n int) {
+	t.latency.Reserve(n)
+	t.response.Reserve(n)
+}
+
 // ErrTaskDeleted is returned for operations on a deleted task.
 var ErrTaskDeleted = errors.New("rtos: task deleted")
 
@@ -255,8 +276,12 @@ func (t *Task) Suspend() error {
 		t.nextRelEv = nil
 	}
 	if t.pending != nil && !t.pending.dispatched {
-		t.k.cpus[t.spec.CPU].ready.remove(t.pending)
+		j := t.pending
+		t.k.cpus[t.spec.CPU].ready.remove(j)
 		t.pending = nil
+		if !j.queued {
+			t.k.recycleJob(j)
+		}
 	}
 	return nil
 }
@@ -322,7 +347,9 @@ func (t *Task) Delete() error {
 	return nil
 }
 
-// scheduleNextRelease queues the release event for index t.releases.
+// scheduleNextRelease queues the release event for index t.releases. The
+// handler is the closure bound at creation; only one release event is ever
+// outstanding per task, so the nominal time rides on the task itself.
 func (t *Task) scheduleNextRelease() error {
 	nominal := sim.Time(t.spec.Phase) + sim.Time(t.releases)*sim.Time(t.spec.Period)
 	actual := nominal.Add(t.k.timing.SampleOffset(t.rng))
@@ -330,24 +357,28 @@ func (t *Task) scheduleNextRelease() error {
 	if actual < now {
 		actual = now
 	}
-	ev, err := t.k.clock.Schedule(actual, "release:"+t.spec.Name, func(fireAt sim.Time) {
-		t.nextRelEv = nil
-		if t.state != TaskActive {
-			return
-		}
-		t.release(fireAt, nominal)
-		t.releases++
-		if err := t.scheduleNextRelease(); err != nil {
-			// Scheduling in virtual time only fails on programmer error;
-			// surface it loudly in simulation.
-			panic(err)
-		}
-	})
+	t.nextNominal = nominal
+	ev, err := t.k.clock.Schedule(actual, t.releaseLabel, t.releaseFn)
 	if err != nil {
 		return err
 	}
 	t.nextRelEv = ev
 	return nil
+}
+
+// fireRelease is the body of the task's release event.
+func (t *Task) fireRelease(fireAt sim.Time) {
+	t.nextRelEv = nil
+	if t.state != TaskActive {
+		return
+	}
+	t.release(fireAt, t.nextNominal)
+	t.releases++
+	if err := t.scheduleNextRelease(); err != nil {
+		// Scheduling in virtual time only fails on programmer error;
+		// surface it loudly in simulation.
+		panic(err)
+	}
 }
 
 // release creates a job and hands it to the scheduler.
@@ -374,7 +405,8 @@ func (t *Task) release(now, nominal sim.Time) {
 	if d := t.deadline(); d > 0 {
 		absDeadline = nominal.Add(d)
 	}
-	j := &job{task: t, nominal: nominal, absDeadline: absDeadline, exec: exec, remaining: exec}
+	j := t.k.allocJob()
+	*j = job{task: t, nominal: nominal, absDeadline: absDeadline, exec: exec, remaining: exec}
 	t.pending = j
 	t.k.trace(now, TraceRelease, t.spec.Name, t.spec.CPU)
 	t.k.cpus[t.spec.CPU].enqueue(t.k, j, now)

@@ -46,6 +46,11 @@ type Handler func(now Time)
 
 // Event is a scheduled occurrence. The zero Event is invalid; obtain events
 // through Clock.Schedule.
+//
+// An Event handle is live from Schedule until the event fires or its
+// cancellation is collected; the clock then recycles the struct for later
+// Schedule calls, so holders must drop their reference at fire time (every
+// dispatcher in this repository nils its field first thing in the handler).
 type Event struct {
 	at      Time
 	seq     uint64 // tie-break so equal-time events fire in schedule order
@@ -54,6 +59,7 @@ type Event struct {
 	cancel  bool
 	label   string
 	onClock *Clock
+	free    *Event // free-list link while recycled
 }
 
 // Time reports when the event is (or was) due.
@@ -67,15 +73,27 @@ func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
 
 // Cancel removes the event from its queue. Cancelling an already-fired or
 // already-cancelled event is a no-op.
+//
+// Cancellation is lazy: the event is only marked dead and skipped (and its
+// struct recycled) when the queue reaches it, so Cancel is O(1) instead of
+// an O(log n) heap removal. A compaction pass keeps the queue from
+// accumulating dead entries under cancel-heavy workloads.
 func (e *Event) Cancel() {
-	if e == nil || e.cancel {
+	if e == nil || e.cancel || e.index < 0 || e.onClock == nil {
 		return
 	}
 	e.cancel = true
-	if e.index >= 0 && e.onClock != nil {
-		heap.Remove(&e.onClock.queue, e.index)
+	c := e.onClock
+	c.cancelled++
+	if c.cancelled > compactThreshold && c.cancelled > len(c.queue)/2 {
+		c.compact()
 	}
 }
+
+// compactThreshold is the minimum number of dead entries before a Cancel
+// triggers queue compaction (and dead entries must also outnumber live
+// ones). Small queues never compact; the per-pop skip handles them.
+const compactThreshold = 64
 
 // eventQueue is a min-heap ordered by (time, seq).
 type eventQueue []*Event
@@ -115,25 +133,38 @@ func (q *eventQueue) Pop() any {
 // at time zero. Clock is not safe for concurrent use; the simulation is
 // single-threaded by design.
 type Clock struct {
-	now     Time
-	queue   eventQueue
-	nextSeq uint64
-	fired   uint64
-	running bool
+	now       Time
+	queue     eventQueue
+	nextSeq   uint64
+	fired     uint64
+	running   bool
+	cancelled int    // dead entries still sitting in queue (lazy cancel)
+	freeList  *Event // recycled Event structs, linked through Event.free
+	freeLen   int
 }
+
+// freeListMax bounds the free list so a one-off scheduling burst does not
+// pin its peak event count in memory forever.
+const freeListMax = 1024
 
 // ErrReentrantRun is returned when Run variants are invoked from inside an
 // event handler.
 var ErrReentrantRun = errors.New("sim: reentrant clock run")
 
+// initialQueueCap pre-sizes the event heap so steady-state scheduling
+// never grows the backing array.
+const initialQueueCap = 128
+
 // NewClock returns a clock at time zero.
-func NewClock() *Clock { return &Clock{} }
+func NewClock() *Clock {
+	return &Clock{queue: make(eventQueue, 0, initialQueueCap)}
+}
 
 // Now reports the current virtual time.
 func (c *Clock) Now() Time { return c.now }
 
 // Pending reports the number of queued events.
-func (c *Clock) Pending() int { return len(c.queue) }
+func (c *Clock) Pending() int { return len(c.queue) - c.cancelled }
 
 // Fired reports the total number of events executed so far.
 func (c *Clock) Fired() uint64 { return c.fired }
@@ -148,10 +179,63 @@ func (c *Clock) Schedule(at Time, label string, fn Handler) (*Event, error) {
 	if at < c.now {
 		return nil, fmt.Errorf("sim: schedule %q at %v before now %v", label, at, c.now)
 	}
-	e := &Event{at: at, seq: c.nextSeq, fn: fn, label: label, onClock: c, index: -1}
+	e := c.alloc()
+	e.at, e.seq, e.fn, e.label, e.onClock, e.index = at, c.nextSeq, fn, label, c, -1
 	c.nextSeq++
 	heap.Push(&c.queue, e)
 	return e, nil
+}
+
+// alloc takes an Event from the free list, falling back to the heap
+// allocator only when the list is dry; in steady state every fired event
+// is recycled and Schedule allocates nothing.
+func (c *Clock) alloc() *Event {
+	if e := c.freeList; e != nil {
+		c.freeList = e.free
+		c.freeLen--
+		e.free = nil
+		return e
+	}
+	return &Event{}
+}
+
+// recycle returns a dead (fired or collected-cancelled) event to the free
+// list. Handler and label references are dropped immediately so recycled
+// events never pin user closures.
+func (c *Clock) recycle(e *Event) {
+	e.fn = nil
+	e.label = ""
+	e.cancel = false
+	e.index = -1
+	if c.freeLen >= freeListMax {
+		return // let the GC take the overflow
+	}
+	e.free = c.freeList
+	c.freeList = e
+	c.freeLen++
+}
+
+// compact rebuilds the queue without its dead entries, recycling them.
+// Heap order is re-established from the strict (time, seq) total order, so
+// the pop sequence is unchanged.
+func (c *Clock) compact() {
+	live := c.queue[:0]
+	for _, e := range c.queue {
+		if e.cancel {
+			c.recycle(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(c.queue); i++ {
+		c.queue[i] = nil
+	}
+	c.queue = live
+	c.cancelled = 0
+	for i, e := range c.queue {
+		e.index = i
+	}
+	heap.Init(&c.queue)
 }
 
 // After queues fn to run d from now. Negative d is an error.
@@ -168,11 +252,18 @@ func (c *Clock) Step() bool {
 	for len(c.queue) > 0 {
 		e := heap.Pop(&c.queue).(*Event)
 		if e.cancel {
+			c.cancelled--
+			c.recycle(e)
 			continue
 		}
 		c.now = e.at
 		c.fired++
-		e.fn(c.now)
+		fn := e.fn
+		e.fn = nil
+		fn(c.now)
+		// Recycle after the handler so the struct cannot be reused while
+		// its own firing is still on the stack.
+		c.recycle(e)
 		return true
 	}
 	return false
@@ -238,6 +329,8 @@ func (c *Clock) peek() *Event {
 			return e
 		}
 		heap.Pop(&c.queue)
+		c.cancelled--
+		c.recycle(e)
 	}
 	return nil
 }

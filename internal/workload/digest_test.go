@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// seedTreeGoldens are the SHA-256 digests of the smartcamera reference
+// scenario produced by the pre-optimisation tree (the growth seed),
+// captured before the allocation-free hot path landed. Matching them
+// byte-for-byte proves the lazy-cancel event queue, the pooled jobs, and
+// the incremental global view changed no observable behaviour: not one
+// trace event, latency sample, lifecycle transition, or admission reason.
+var seedTreeGoldens = []struct {
+	seed    uint64
+	trace   string
+	metrics string
+	events  uint64
+}{
+	{
+		seed:    7,
+		trace:   "facc50c4b2900f5c42e99e88f1696c8df71bd8a92d3704bd0914432d59abc811",
+		metrics: "26a975b35d7dfa44ffe907223ad25761ec711af05f49963aaf0c9792725fb245",
+		events:  1063,
+	},
+	{
+		seed:    42,
+		trace:   "aa6cba283d4cc17e51dc64ceacd786eb4bbf675be8026b39c4b17e64d39e7dd6",
+		metrics: "9079f085f9af9c598f2c45168a1452992cc0a2375a4d9725934cfae72ff1eb64",
+		events:  1062,
+	},
+}
+
+const digestRunFor = 2 * time.Second
+
+// TestCameraDigestMatchesSeedTree guards same-seed reproducibility across
+// revisions: the current tree must produce byte-identical traces and
+// metrics to the growth seed for the reference seeds.
+func TestCameraDigestMatchesSeedTree(t *testing.T) {
+	for _, g := range seedTreeGoldens {
+		d, err := RunCameraDigest(g.seed, digestRunFor)
+		if err != nil {
+			t.Fatalf("seed %d: %v", g.seed, err)
+		}
+		if d.Trace != g.trace {
+			t.Errorf("seed %d: trace digest %s, want seed-tree %s", g.seed, d.Trace, g.trace)
+		}
+		if d.Metrics != g.metrics {
+			t.Errorf("seed %d: metrics digest %s, want seed-tree %s", g.seed, d.Metrics, g.metrics)
+		}
+		if d.Events != g.events {
+			t.Errorf("seed %d: %d events fired, want %d", g.seed, d.Events, g.events)
+		}
+	}
+}
+
+// TestCameraDigestRepeatable runs the same seed twice in one process and
+// demands identical digests — the within-process half of determinism.
+func TestCameraDigestRepeatable(t *testing.T) {
+	first, err := RunCameraDigest(7, digestRunFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunCameraDigest(7, digestRunFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("same seed diverged:\n  first  %+v\n  second %+v", first, second)
+	}
+}

@@ -249,16 +249,22 @@ func addStressLoad(k *rtos.Kernel, mode rtos.LoadMode) error {
 	return bl.Start()
 }
 
-// Table1 runs all four configurations of the paper's Table 1 and returns
-// the rows in the paper's order: HRC (light), Pure RTAI (light),
-// HRC (stress), Pure RTAI (stress).
-func Table1(samples int, seed uint64) ([]metrics.Row, error) {
-	configs := []LatencyConfig{
+// Table1Configs lists the four configurations of the paper's Table 1 in
+// the paper's order: HRC (light), Pure RTAI (light), HRC (stress),
+// Pure RTAI (stress).
+func Table1Configs(samples int, seed uint64) []LatencyConfig {
+	return []LatencyConfig{
 		{Hybrid: true, Mode: rtos.LightLoad, Samples: samples, Seed: seed},
 		{Hybrid: false, Mode: rtos.LightLoad, Samples: samples, Seed: seed},
 		{Hybrid: true, Mode: rtos.StressLoad, Samples: samples, Seed: seed},
 		{Hybrid: false, Mode: rtos.StressLoad, Samples: samples, Seed: seed},
 	}
+}
+
+// Table1 runs all four configurations sequentially and returns the rows
+// in the paper's order (bench.Table1Parallel is the concurrent variant).
+func Table1(samples int, seed uint64) ([]metrics.Row, error) {
+	configs := Table1Configs(samples, seed)
 	rows := make([]metrics.Row, 0, len(configs))
 	for _, cfg := range configs {
 		res, err := RunLatency(cfg)
