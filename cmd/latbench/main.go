@@ -7,7 +7,7 @@
 // Usage:
 //
 //	latbench [-samples N] [-seed S] [-workers W] [-table1] [-hist]
-//	         [-ablations] [-benchjson FILE] [-all]
+//	         [-ablations] [-faults] [-benchjson FILE] [-all]
 package main
 
 import (
@@ -35,20 +35,23 @@ func main() {
 		dump      = flag.String("dump", "", "write raw HRC-light latency samples (ns) to this CSV file")
 		workers   = flag.Int("workers", 0, "goroutine pool size for parallel runs (0 = NumCPU)")
 		benchjson = flag.String("benchjson", "", "measure hot-path and Monte-Carlo perf, write JSON report to this file")
+		faults    = flag.Bool("faults", false, "run the fault-injection ablation (contract guard on/off)")
 		all       = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
+	perf := *benchjson != ""
 	if *all {
-		*table1, *hist, *ablations, *gantt = true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults = true, true, true, true, true
+		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && *dump == "" && *benchjson == "" {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
 	if *table1 {
 		runTable1(*samples, *seed, *workers)
 	}
-	if *benchjson != "" {
+	if perf {
 		runBenchJSON(*benchjson, *seed, *workers)
 	}
 	if *hist {
@@ -59,6 +62,9 @@ func main() {
 	}
 	if *dump != "" {
 		runDump(*dump, *samples, *seed)
+	}
+	if *faults {
+		runFaults(*seed)
 	}
 	if *ablations {
 		runAblations(*seed)
@@ -129,12 +135,19 @@ func runTable1(samples int, seed uint64, workers int) {
 }
 
 // runBenchJSON measures the simulation hot path plus the parallel
-// Monte-Carlo harness and writes the machine-readable BENCH_sim.json so
-// successive revisions carry a comparable performance trajectory.
+// Monte-Carlo harness. With a path it writes the machine-readable
+// BENCH_sim.json so successive revisions carry a comparable performance
+// trajectory; with an empty path (e.g. under -all) it only prints.
 func runBenchJSON(path string, seed uint64, workers int) {
 	rep, err := bench.MeasurePerf(bench.PerfConfig{BaseSeed: seed, Workers: workers})
 	if err != nil {
 		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatPerf(rep))
+	fmt.Printf("kernel hot path: %.0f events/s, %.1f ns/event, %.4f allocs/event\n",
+		rep.Kernel.EventsPerSec, rep.Kernel.NSPerEvent, rep.Kernel.AllocsPerEvent)
+	if path == "" {
+		return
 	}
 	data, err := rep.Encode()
 	if err != nil {
@@ -143,10 +156,17 @@ func runBenchJSON(path string, seed uint64, workers int) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(bench.FormatPerf(rep))
-	fmt.Printf("kernel hot path: %.0f events/s, %.1f ns/event, %.4f allocs/event\n",
-		rep.Kernel.EventsPerSec, rep.Kernel.NSPerEvent, rep.Kernel.AllocsPerEvent)
 	fmt.Printf("wrote %s\n", path)
+}
+
+// runFaults renders Ablation E: the standard fault campaign with the
+// contract guard enforcing versus absent.
+func runFaults(seed uint64) {
+	rows, err := bench.AblationFaults(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatFaults(rows))
 }
 
 func runHistograms(samples int, seed uint64) {

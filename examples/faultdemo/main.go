@@ -1,0 +1,54 @@
+// Command faultdemo breaks a running contract on purpose and shows the
+// framework repairing itself — the adaptive loop the paper promises in
+// §2.4 but never perturbs: detect a contract violation at run time,
+// revoke the offender's budget, cascade its dependants, and re-admit
+// the closure in dependency order once the system is healthy again.
+//
+// The workload is the §4.2 latency pair (calc @1000 Hz writing SHM,
+// disp @4 Hz reading it). A scripted fault inflates calc's execution
+// time ×4 for 400 ms — 12% measured CPU against a 5% declared budget.
+// The same campaign runs twice: guarded by internal/contract, then
+// unguarded as the containment baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("== guarded: contract guard enforcing")
+	g, err := workload.RunFaultCampaign(workload.FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nfault script:")
+	for _, r := range g.InjectTrace {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println("\nguard trace (violation -> revoke -> quarantine -> restore):")
+	for _, r := range g.GuardTrace {
+		fmt.Printf("  %10v  %-9s  %-4s  %s\n",
+			time.Duration(r.At), r.Action, r.Component, r.Detail)
+	}
+	fmt.Printf("\ndetection latency: %v   revokes: %d   restores: %d   MTTR: %v\n",
+		g.DetectionLatency, g.RevokeCount, g.RestoreCount, g.MTTR)
+	fmt.Println("\nfinal states:")
+	for _, info := range g.Final {
+		fmt.Printf("  %-4s  %v\n", info.Name, info.State)
+	}
+	fmt.Printf("\ntrace digest: %s\n", g.TraceDigest)
+
+	fmt.Println("\n== unguarded: same campaign, no enforcement")
+	u, err := workload.RunFaultCampaign(workload.FaultCampaignConfig{Guarded: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontainment — disp max |dispatch latency|:\n")
+	fmt.Printf("  guarded:   %8d ns (within the 30 µs bound)\n", g.DispMaxAbs)
+	fmt.Printf("  unguarded: %8d ns (calc's overrun starves disp)\n", u.DispMaxAbs)
+}

@@ -33,6 +33,15 @@ type Health struct {
 	// SkipsDelta is the number of skipped releases since the previous
 	// check.
 	SkipsDelta uint64
+	// Misses, Skips and Consumed are the live kernel task counters —
+	// fresher than the HRC status snapshot, which refreshes only once per
+	// job (up to one period stale). Zero for components with no task.
+	Misses   uint64
+	Skips    uint64
+	Consumed time.Duration
+	// ConsumedDelta is the CPU time the component's task consumed since
+	// the previous check (zero right after the task is recreated).
+	ConsumedDelta time.Duration
 }
 
 // ActionKind enumerates what a policy may ask for.
@@ -90,8 +99,9 @@ type Manager struct {
 	policy   Policy
 	interval time.Duration
 
-	lastMisses map[string]uint64
-	lastSkips  map[string]uint64
+	lastMisses   map[string]uint64
+	lastSkips    map[string]uint64
+	lastConsumed map[string]time.Duration
 	// grace suppresses miss/skip deltas for a component's next N checks
 	// after a resume: the HRC status snapshot is refreshed only when the
 	// task runs, so the first post-resume publication reveals stale
@@ -111,12 +121,13 @@ func New(d *core.DRCR, p Policy, interval time.Duration) (*Manager, error) {
 		return nil, errors.New("adapt: interval must be positive")
 	}
 	return &Manager{
-		drcr:       d,
-		policy:     p,
-		interval:   interval,
-		lastMisses: map[string]uint64{},
-		lastSkips:  map[string]uint64{},
-		grace:      map[string]int{},
+		drcr:         d,
+		policy:       p,
+		interval:     interval,
+		lastMisses:   map[string]uint64{},
+		lastSkips:    map[string]uint64{},
+		lastConsumed: map[string]time.Duration{},
+		grace:        map[string]int{},
 	}, nil
 }
 
@@ -193,6 +204,16 @@ func (m *Manager) snapshot() []Health {
 		h := Health{Info: info}
 		if mgmt, ok := m.drcr.Management(info.Name); ok {
 			h.Status = mgmt.Status()
+		}
+		if task, ok := m.drcr.Kernel().Task(info.Name); ok {
+			met := task.Metrics()
+			h.Misses, h.Skips, h.Consumed = met.Misses, met.Skips, met.Consumed
+			// A re-admitted component starts a fresh task; counters behind
+			// the baseline mean recreation, so restart the window.
+			if last := m.lastConsumed[info.Name]; met.Consumed >= last {
+				h.ConsumedDelta = met.Consumed - last
+			}
+			m.lastConsumed[info.Name] = met.Consumed
 		}
 		misses, skips := h.Status.Misses, h.Status.Skips
 		h.MissesDelta = misses - m.lastMisses[info.Name]

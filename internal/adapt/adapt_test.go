@@ -261,3 +261,50 @@ func TestPickVictimOrdering(t *testing.T) {
 		t.Fatalf("victim of empty = %q", got)
 	}
 }
+
+// recorder captures snapshots without acting, for inspecting Health.
+type recorder struct{ last []Health }
+
+func (r *recorder) Name() string               { return "recorder" }
+func (r *recorder) Decide(s []Health) []Action { r.last = s; return nil }
+
+func TestHealthCarriesKernelCounters(t *testing.T) {
+	k, d := rig(t)
+	if err := d.Deploy(comp(t, "busy", 0.10, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	m, err := New(d, rec, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	m.CheckNow()
+	if len(rec.last) != 1 {
+		t.Fatalf("snapshot has %d entries, want 1", len(rec.last))
+	}
+	h := rec.last[0]
+	// 100 Hz at 10% budget: ~50 ms of run time is ~5 ms consumed.
+	if h.Consumed <= 0 {
+		t.Errorf("Consumed = %v, want > 0", h.Consumed)
+	}
+	if h.ConsumedDelta != h.Consumed {
+		t.Errorf("first check ConsumedDelta = %v, want full Consumed %v", h.ConsumedDelta, h.Consumed)
+	}
+	if err := k.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	m.CheckNow()
+	h2 := rec.last[0]
+	if h2.Consumed <= h.Consumed {
+		t.Errorf("Consumed did not advance: %v -> %v", h.Consumed, h2.Consumed)
+	}
+	if h2.ConsumedDelta != h2.Consumed-h.Consumed {
+		t.Errorf("ConsumedDelta = %v, want %v", h2.ConsumedDelta, h2.Consumed-h.Consumed)
+	}
+	if h2.Misses != 0 || h2.Skips != 0 {
+		t.Errorf("healthy task shows misses=%d skips=%d", h2.Misses, h2.Skips)
+	}
+}

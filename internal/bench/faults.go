@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// FaultsResult is one row of Ablation E (contract guard on/off under the
+// standard fault campaign).
+type FaultsResult struct {
+	Config     string // "guarded" or "unguarded"
+	Violations int
+	Revokes    int
+	Restores   int
+	// DispMaxAbs is the worst dispatch-latency magnitude of the dependant
+	// 4 Hz task across the whole run, in ns — the containment metric.
+	DispMaxAbs int64
+	// DetectionMS is first violation minus fault start, in ms (-1 when
+	// nothing was detected); MTTRMS is final recovery minus fault clear.
+	DetectionMS float64
+	MTTRMS      float64
+	Recovered   bool
+	Digest      string // guard trace digest (guarded row only)
+}
+
+// AblationFaults runs the §4.2 application through the standard fault
+// campaign (calc's execution time inflated 4× for 400 ms) twice: once
+// protected by the contract guard, once not. The guarded run detects the
+// budget overrun, revokes and eventually restores calc's budget, and keeps
+// the dependant's dispatch latency at its fault-free level; the unguarded
+// run lets the inflated job block the dependant for ~4× the paper's 30 µs
+// bound.
+func AblationFaults(seed uint64) ([]FaultsResult, error) {
+	row := func(guarded bool) (FaultsResult, error) {
+		res, err := workload.RunFaultCampaign(workload.FaultCampaignConfig{
+			Seed:    seed,
+			Guarded: guarded,
+		})
+		if err != nil {
+			return FaultsResult{}, err
+		}
+		out := FaultsResult{
+			Config:      "unguarded",
+			Violations:  len(res.Violations),
+			Revokes:     res.RevokeCount,
+			Restores:    res.RestoreCount,
+			DispMaxAbs:  res.DispMaxAbs,
+			DetectionMS: float64(res.DetectionLatency) / 1e6,
+			MTTRMS:      float64(res.MTTR) / 1e6,
+			Recovered:   res.MTTR > 0,
+			Digest:      res.TraceDigest,
+		}
+		if guarded {
+			out.Config = "guarded"
+		}
+		return out, nil
+	}
+	g, err := row(true)
+	if err != nil {
+		return nil, err
+	}
+	u, err := row(false)
+	if err != nil {
+		return nil, err
+	}
+	return []FaultsResult{g, u}, nil
+}
+
+// FormatFaults renders Ablation E.
+func FormatFaults(rows []FaultsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation E — fault injection & containment (calc exec ×%.0f for %v)\n",
+		workload.FaultFactor, workload.FaultDuration)
+	fmt.Fprintf(&b, "%-10s %10s %8s %9s %14s %10s %9s %10s\n",
+		"config", "violations", "revokes", "restores", "disp max |ns|", "detect ms", "MTTR ms", "recovered")
+	for _, r := range rows {
+		det, mttr := "-", "-"
+		if r.DetectionMS >= 0 {
+			det = fmt.Sprintf("%.1f", r.DetectionMS)
+		}
+		if r.MTTRMS >= 0 {
+			mttr = fmt.Sprintf("%.1f", r.MTTRMS)
+		}
+		fmt.Fprintf(&b, "%-10s %10d %8d %9d %14d %10s %9s %10v\n",
+			r.Config, r.Violations, r.Revokes, r.Restores, r.DispMaxAbs, det, mttr, r.Recovered)
+	}
+	for _, r := range rows {
+		if r.Config == "guarded" && r.Digest != "" {
+			fmt.Fprintf(&b, "guarded trace digest: %s\n", r.Digest)
+		}
+	}
+	return b.String()
+}

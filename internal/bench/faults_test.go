@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultCampaignAblation(t *testing.T) {
+	rows, err := AblationFaults(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	g, u := rows[0], rows[1]
+	if g.Config != "guarded" || u.Config != "unguarded" {
+		t.Fatalf("row order = %s, %s", g.Config, u.Config)
+	}
+	if g.Violations == 0 || g.Revokes == 0 || !g.Recovered {
+		t.Errorf("guarded row shows no enforcement: %+v", g)
+	}
+	if u.Violations != 0 || u.Revokes != 0 {
+		t.Errorf("unguarded row shows enforcement: %+v", u)
+	}
+	if g.DispMaxAbs*2 >= u.DispMaxAbs {
+		t.Errorf("no containment: guarded %d ns vs unguarded %d ns", g.DispMaxAbs, u.DispMaxAbs)
+	}
+	out := FormatFaults(rows)
+	if !strings.Contains(out, "Ablation E") || !strings.Contains(out, "guarded trace digest:") {
+		t.Errorf("format missing sections:\n%s", out)
+	}
+}

@@ -1,0 +1,354 @@
+package contract
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// Options parameterise a Guard. The zero value enforces with the
+// defaults below; set Observe to record violations without acting.
+type Options struct {
+	// Interval is the monitoring cadence on the simulated clock
+	// (default 10 ms).
+	Interval time.Duration
+	// OverrunFactor is the tolerance on the declared budget: measured
+	// windowed utilization above cpuusage×factor counts as over budget
+	// (default 1.5, absorbing execution jitter and accounting granularity).
+	OverrunFactor float64
+	// OverrunChecks is how many consecutive over-budget windows make a
+	// BudgetOverrun violation (default 2, so a single preemption-skewed
+	// window is forgiven).
+	OverrunChecks int
+	// MissThreshold is the per-window miss+skip count that makes a
+	// DeadlineMiss violation (default 1).
+	MissThreshold uint64
+	// StaleFactor flags a declared SHM outport as stale when it has not
+	// been written for factor×period (default 4 periods).
+	StaleFactor float64
+	// Quarantine is how many checks a revoked component sits out before
+	// the guard restores its budget and lets the DRCR try re-admission
+	// (default 8).
+	Quarantine int
+	// BackoffFactor multiplies the quarantine each time the same
+	// component violates again after a restore (default 2, capped at
+	// 16× the base quarantine); HealthyReset clean checks reset it.
+	BackoffFactor int
+	// HealthyReset is how many consecutive clean checks clear a
+	// component's accumulated backoff (default 16).
+	HealthyReset int
+	// Observe makes the guard record violations without revoking budgets
+	// (monitoring-only mode, the ablation baseline).
+	Observe bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Millisecond
+	}
+	if o.OverrunFactor <= 0 {
+		o.OverrunFactor = 1.5
+	}
+	if o.OverrunChecks <= 0 {
+		o.OverrunChecks = 2
+	}
+	if o.MissThreshold == 0 {
+		o.MissThreshold = 1
+	}
+	if o.StaleFactor <= 0 {
+		o.StaleFactor = 4
+	}
+	if o.Quarantine <= 0 {
+		o.Quarantine = 8
+	}
+	if o.BackoffFactor <= 0 {
+		o.BackoffFactor = 2
+	}
+	if o.HealthyReset <= 0 {
+		o.HealthyReset = 16
+	}
+}
+
+// maxBackoff caps the quarantine growth at 16× the base quarantine.
+const maxBackoff = 16
+
+// monitor is the per-component watch state.
+type monitor struct {
+	lastConsumed time.Duration
+	lastMisses   uint64
+	lastSkips    uint64
+	overWindows  int
+	ports        map[string]*portState
+	quarantine   int // checks left before restore, while revoked by us
+	backoff      int // quarantine multiplier for the next revocation
+	healthy      int
+	revokedByUs  bool
+}
+
+type portState struct {
+	gen        uint64
+	lastChange sim.Time
+}
+
+// Guard drives the per-component contract monitors on a fixed
+// simulated-time cadence and feeds violations into the DRCR.
+type Guard struct {
+	d    *core.DRCR
+	opts Options
+
+	mons       map[string]*monitor
+	violations []Violation
+	trace      []Record
+	listeners  []func(Violation)
+
+	tick    *sim.Event
+	running bool
+}
+
+// New builds a guard over a DRCR.
+func New(d *core.DRCR, opts Options) (*Guard, error) {
+	if d == nil {
+		return nil, errors.New("contract: guard needs a DRCR")
+	}
+	opts.applyDefaults()
+	return &Guard{d: d, opts: opts, mons: map[string]*monitor{}}, nil
+}
+
+// Start schedules periodic checks on the simulated clock.
+func (g *Guard) Start() error {
+	if g.running {
+		return nil
+	}
+	g.running = true
+	return g.schedule()
+}
+
+// Stop cancels future checks.
+func (g *Guard) Stop() {
+	g.running = false
+	if g.tick != nil {
+		g.tick.Cancel()
+		g.tick = nil
+	}
+}
+
+// AddListener subscribes to violations as they are detected.
+func (g *Guard) AddListener(f func(Violation)) {
+	if f != nil {
+		g.listeners = append(g.listeners, f)
+	}
+}
+
+// Violations returns a copy of every violation detected so far.
+func (g *Guard) Violations() []Violation {
+	out := make([]Violation, len(g.violations))
+	copy(out, g.violations)
+	return out
+}
+
+// Trace returns a copy of the enforcement trace (violations, revocations,
+// restores, in order).
+func (g *Guard) Trace() []Record {
+	out := make([]Record, len(g.trace))
+	copy(out, g.trace)
+	return out
+}
+
+// TraceDigest is the hex SHA-256 of the formatted enforcement trace; two
+// runs of the same seed and fault script must agree byte for byte.
+func (g *Guard) TraceDigest() string {
+	var b strings.Builder
+	for _, r := range g.trace {
+		fmt.Fprintf(&b, "%d %s %s %s\n", int64(r.At), r.Action, r.Component, r.Detail)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func (g *Guard) schedule() error {
+	clock := g.d.Kernel().Clock()
+	ev, err := clock.After(g.opts.Interval, "guard:check", func(sim.Time) {
+		g.tick = nil
+		if !g.running {
+			return
+		}
+		g.CheckNow()
+		if g.running {
+			if err := g.schedule(); err != nil {
+				// Virtual-time scheduling fails only on misuse; record it.
+				g.trace = append(g.trace, Record{
+					At: clock.Now(), Action: "error", Detail: err.Error(),
+				})
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	g.tick = ev
+	return nil
+}
+
+// CheckNow runs one monitoring pass immediately and returns the
+// violations it detected.
+func (g *Guard) CheckNow() []Violation {
+	k := g.d.Kernel()
+	now := k.Now()
+	var fired []Violation
+	for _, info := range g.d.Components() {
+		m := g.mons[info.Name]
+		if m == nil {
+			m = &monitor{ports: map[string]*portState{}, backoff: 1}
+			g.mons[info.Name] = m
+		}
+		if info.Revoked && m.revokedByUs {
+			m.quarantine--
+			if m.quarantine <= 0 {
+				m.revokedByUs = false
+				// The instance was torn down at revocation; a re-admitted
+				// component starts a fresh task, so baselines restart too.
+				m.lastConsumed, m.lastMisses, m.lastSkips = 0, 0, 0
+				m.overWindows, m.healthy = 0, 0
+				m.ports = map[string]*portState{}
+				g.record(now, "restore", info.Name, "quarantine served; budget restored")
+				_ = g.d.RestoreBudget(info.Name)
+			}
+			continue
+		}
+		if info.State != core.Active {
+			continue
+		}
+		task, ok := k.Task(info.Name)
+		if !ok {
+			continue
+		}
+		vs := g.checkActive(now, info, m, task)
+		for _, v := range vs {
+			g.violations = append(g.violations, v)
+			g.record(now, "violation", v.Component, fmt.Sprintf("%v measured=%.4f limit=%.4f %s", v.Kind, v.Measured, v.Limit, v.Detail))
+			for _, l := range g.listeners {
+				l(v)
+			}
+		}
+		fired = append(fired, vs...)
+		if len(vs) > 0 {
+			if !g.opts.Observe {
+				reason := fmt.Sprintf("%v: %s", vs[0].Kind, vs[0].Detail)
+				m.revokedByUs = true
+				m.quarantine = g.opts.Quarantine * m.backoff
+				if m.backoff < maxBackoff {
+					m.backoff *= g.opts.BackoffFactor
+					if m.backoff > maxBackoff {
+						m.backoff = maxBackoff
+					}
+				}
+				m.healthy = 0
+				m.overWindows = 0
+				g.record(now, "revoke", info.Name, reason)
+				_ = g.d.RevokeBudget(info.Name, reason)
+			}
+			continue
+		}
+		m.healthy++
+		if m.healthy >= g.opts.HealthyReset {
+			m.backoff = 1
+		}
+	}
+	return fired
+}
+
+// checkActive evaluates one active component's measured behaviour against
+// its declared contract and updates the monitor baselines.
+func (g *Guard) checkActive(now sim.Time, info core.Info, m *monitor, task *rtos.Task) []Violation {
+	var vs []Violation
+	met := task.Metrics()
+
+	// Re-admission recreates the task, resetting kernel counters; when the
+	// live counters run behind our baselines, restart the window instead of
+	// reading a bogus negative delta.
+	if met.Consumed < m.lastConsumed || met.Misses < m.lastMisses || met.Skips < m.lastSkips {
+		m.lastConsumed, m.lastMisses, m.lastSkips = met.Consumed, met.Misses, met.Skips
+		m.overWindows = 0
+		return nil
+	}
+
+	consumedDelta := met.Consumed - m.lastConsumed
+	missDelta := (met.Misses - m.lastMisses) + (met.Skips - m.lastSkips)
+	m.lastConsumed, m.lastMisses, m.lastSkips = met.Consumed, met.Misses, met.Skips
+
+	// Budget: windowed utilization over the check interval vs declared
+	// cpuusage, with tolerance for jitter and accounting granularity.
+	if info.CPUUsage > 0 {
+		util := float64(consumedDelta) / float64(g.opts.Interval)
+		limit := info.CPUUsage * g.opts.OverrunFactor
+		if util > limit {
+			m.overWindows++
+			if m.overWindows >= g.opts.OverrunChecks {
+				vs = append(vs, Violation{
+					At: now, Component: info.Name, Kind: BudgetOverrun,
+					Measured: util, Limit: limit,
+					Detail: fmt.Sprintf("utilization %.4f over %d windows (declared cpuusage %.4f)", util, m.overWindows, info.CPUUsage),
+				})
+			}
+		} else {
+			m.overWindows = 0
+		}
+	}
+
+	// Deadlines: misses and skipped releases during the window.
+	if missDelta >= g.opts.MissThreshold {
+		vs = append(vs, Violation{
+			At: now, Component: info.Name, Kind: DeadlineMiss,
+			Measured: float64(missDelta), Limit: float64(g.opts.MissThreshold),
+			Detail: fmt.Sprintf("%d deadline misses/skips in window", missDelta),
+		})
+	}
+
+	// Port freshness: a periodic component's declared SHM outports must
+	// advance their write generation; stalling past StaleFactor periods
+	// breaks the contract dependants resolved against.
+	if period := task.Spec().Period; period > 0 {
+		staleAfter := time.Duration(g.opts.StaleFactor * float64(period))
+		for _, p := range info.OutPorts {
+			if p.Interface != string(descriptor.SHM) {
+				continue
+			}
+			seg, err := g.d.Kernel().IPC().SHM(p.Name)
+			if err != nil {
+				continue
+			}
+			ps := m.ports[p.Name]
+			gen := seg.Generation()
+			if ps == nil {
+				m.ports[p.Name] = &portState{gen: gen, lastChange: now}
+				continue
+			}
+			if gen != ps.gen {
+				ps.gen = gen
+				ps.lastChange = now
+				continue
+			}
+			if age := now.Sub(ps.lastChange); age > staleAfter {
+				vs = append(vs, Violation{
+					At: now, Component: info.Name, Kind: PortStale,
+					Measured: age.Seconds(), Limit: staleAfter.Seconds(),
+					Detail: fmt.Sprintf("outport %q unchanged for %v (period %v)", p.Name, age, period),
+				})
+				ps.lastChange = now // one violation per stall window
+			}
+		}
+	}
+	return vs
+}
+
+func (g *Guard) record(at sim.Time, action, component, detail string) {
+	g.trace = append(g.trace, Record{At: at, Action: action, Component: component, Detail: detail})
+}

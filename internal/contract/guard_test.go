@@ -1,0 +1,154 @@
+package contract
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/osgi"
+	"repro/internal/rtos"
+)
+
+const calcXML = `<component name="calc" desc="computing job" type="periodic" cpuusage="0.05">
+  <implementation bincode="demo.Calculation"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <outport name="lat" interface="RTAI.SHM" type="Integer" size="100"/>
+  <property name="drcom.exectime.us" type="Integer" value="30"/>
+</component>`
+
+func rig(t *testing.T) (*rtos.Kernel, *core.DRCR) {
+	t.Helper()
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{Seed: 5})
+	d, err := core.New(fw, k, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	err = d.RegisterBody("demo.Calculation", func(*descriptor.Component) rtos.Body {
+		return func(j *rtos.JobContext) {
+			if shm, err := j.Kernel.IPC().SHM("lat"); err == nil {
+				_ = shm.Set(0, int64(j.Index))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := descriptor.Parse(calcXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(desc); err != nil {
+		t.Fatal(err)
+	}
+	return k, d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil DRCR accepted")
+	}
+}
+
+func TestHealthyComponentStaysClean(t *testing.T) {
+	k, d := rig(t)
+	g, err := New(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if vs := g.Violations(); len(vs) != 0 {
+		t.Errorf("healthy run produced violations: %v", vs)
+	}
+	if tr := g.Trace(); len(tr) != 0 {
+		t.Errorf("healthy run produced trace records: %v", tr)
+	}
+	g.Stop()
+}
+
+func TestObserveModeRecordsWithoutRevoking(t *testing.T) {
+	k, d := rig(t)
+	g, err := New(d, Options{Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	task, ok := k.Task("calc")
+	if !ok {
+		t.Fatal("calc task missing")
+	}
+	task.SetExecScale(4) // 30 µs -> 120 µs per 1 ms period: 12% vs 5% declared
+	if err := k.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Violations()) == 0 {
+		t.Fatal("observe mode detected nothing")
+	}
+	if v := g.Violations()[0]; v.Kind != BudgetOverrun || v.Component != "calc" {
+		t.Errorf("first violation = %v, want calc budget-overrun", v)
+	}
+	for _, r := range g.Trace() {
+		if r.Action == "revoke" {
+			t.Fatalf("observe mode revoked a budget: %v", r)
+		}
+	}
+	if info, _ := d.Component("calc"); info.State != core.Active {
+		t.Errorf("observe mode changed calc state to %v", info.State)
+	}
+}
+
+func TestEnforcingGuardRevokesAndRestores(t *testing.T) {
+	k, d := rig(t)
+	g, err := New(d, Options{Quarantine: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := k.Task("calc")
+	task.SetExecScale(4)
+	// Two over-budget windows trigger the violation; the scale dies with
+	// the revoked task, so the re-admitted instance is healthy again.
+	if err := k.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var revoked, restored bool
+	for _, r := range g.Trace() {
+		switch r.Action {
+		case "revoke":
+			revoked = true
+		case "restore":
+			restored = true
+		}
+	}
+	if !revoked || !restored {
+		t.Fatalf("revoked=%v restored=%v, want both (trace %v)", revoked, restored, g.Trace())
+	}
+	if info, _ := d.Component("calc"); info.State != core.Active || info.Revoked {
+		t.Errorf("calc = %v revoked=%v at end, want ACTIVE and clear", info.State, info.Revoked)
+	}
+	if g.TraceDigest() == "" {
+		t.Error("empty trace digest")
+	}
+}
+
+func TestDigestIsOrderSensitive(t *testing.T) {
+	_, d := rig(t)
+	g, _ := New(d, Options{})
+	empty := g.TraceDigest()
+	g.record(0, "violation", "calc", "x")
+	one := g.TraceDigest()
+	if empty == one {
+		t.Error("digest unchanged after a record")
+	}
+}

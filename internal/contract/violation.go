@@ -1,0 +1,85 @@
+// Package contract implements runtime contract enforcement for DRCom
+// components: per-component monitors that watch the kernel's actual
+// accounting against the contract each descriptor declared, and a guard
+// that reports typed violations to the DRCR so the system reacts through
+// its ordinary adaptation pipeline (budget revocation, cascade,
+// re-admission).
+//
+// The paper promises that DRCR adapts to run-time change "without
+// impairing the contracts of components that remain active"; this package
+// supplies the missing enforcement half of that promise. A component that
+// breaks its declared budget, misses deadlines, or stops refreshing its
+// outports is suspended and its budget revoked, dependants cascade
+// through resolution exactly as if the offending bundle had stopped, and
+// — once the component behaves again — the guard restores the budget and
+// the DRCR re-admits the whole dependent closure in dependency order.
+//
+// Everything runs on the simulated clock: same seed, same fault script,
+// byte-identical violation and recovery trace.
+package contract
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a contract violation.
+type Kind int
+
+// Violation kinds.
+const (
+	// BudgetOverrun: measured CPU consumption over a window exceeded the
+	// declared cpuusage budget by more than the tolerance.
+	BudgetOverrun Kind = iota + 1
+	// DeadlineMiss: the task missed deadlines (or skipped releases) during
+	// the window.
+	DeadlineMiss
+	// PortStale: a declared SHM outport was not refreshed for several
+	// periods while the component claimed to be running.
+	PortStale
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BudgetOverrun:
+		return "budget-overrun"
+	case DeadlineMiss:
+		return "deadline-miss"
+	case PortStale:
+		return "port-stale"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Violation is one detected breach of a component's declared contract.
+type Violation struct {
+	At        sim.Time
+	Component string
+	Kind      Kind
+	// Measured and Limit quantify the breach in the kind's natural unit:
+	// utilization fraction for BudgetOverrun, miss+skip count for
+	// DeadlineMiss, seconds-since-refresh for PortStale.
+	Measured float64
+	Limit    float64
+	Detail   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s %v measured=%.4f limit=%.4f (%s)",
+		v.At, v.Component, v.Kind, v.Measured, v.Limit, v.Detail)
+}
+
+// Record is one entry of the guard's enforcement trace: a violation, a
+// budget revocation, or a budget restore, in the order they happened.
+type Record struct {
+	At        sim.Time
+	Action    string // "violation" | "revoke" | "restore"
+	Component string
+	Detail    string
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("[%v] %s %s: %s", r.At, r.Action, r.Component, r.Detail)
+}

@@ -135,6 +135,9 @@ type Component struct {
 	bindings map[string]string
 	// lastReason explains the most recent state decision.
 	lastReason string
+	// revoked bars the component from re-admission after a runtime
+	// contract violation, until RestoreBudget clears it.
+	revoked bool
 	// ownedSHM / ownedBoxes are the IPC objects created for outports.
 	ownedSHM   []string
 	ownedBoxes []string
@@ -152,6 +155,18 @@ type Info struct {
 	Bundle     string // symbolic name, "" if directly deployed
 	Bindings   map[string]string
 	LastReason string
+	// Revoked reports an outstanding budget revocation (contract
+	// violation); the component cannot re-activate until restored.
+	Revoked bool
+	// OutPorts lists the component's declared outports (name and
+	// transport), so external monitors can watch port freshness.
+	OutPorts []PortInfo
+}
+
+// PortInfo is a read-only declared-port snapshot.
+type PortInfo struct {
+	Name      string
+	Interface string
 }
 
 // Options configure a DRCR.
@@ -317,10 +332,14 @@ func (d *DRCR) infoLocked(c *Component) Info {
 		CPUUsage:   c.desc.CPUUsage,
 		Importance: c.desc.Importance,
 		LastReason: c.lastReason,
+		Revoked:    c.revoked,
 		Bindings:   map[string]string{},
 	}
 	if c.bundle != nil {
 		info.Bundle = c.bundle.SymbolicName()
+	}
+	for _, out := range c.desc.OutPorts {
+		info.OutPorts = append(info.OutPorts, PortInfo{Name: out.Name, Interface: string(out.Interface)})
 	}
 	for k, v := range c.bindings {
 		info.Bindings[k] = v

@@ -272,6 +272,12 @@ func (d *DRCR) resolveOnce() (changed bool) {
 			d.mu.Unlock()
 			continue
 		}
+		if c.revoked {
+			// A revoked budget bars re-admission until RestoreBudget; the
+			// lifecycle stays where the revocation left it.
+			d.mu.Unlock()
+			continue
+		}
 		if missing := d.unsatisfiedInportLocked(c); missing != "" {
 			if c.state == Satisfied {
 				d.setStateLocked(c, Unsatisfied, "inport "+missing+" unsatisfied")
@@ -481,6 +487,14 @@ func (d *DRCR) taskSpecLocked(desc *descriptor.Component) (rtos.TaskSpec, error)
 		spec.Type = rtos.Periodic
 		spec.Period = desc.Periodic.Period()
 		spec.ExecTime = time.Duration(desc.CPUUsage * float64(spec.Period))
+		// A task created mid-run starts releasing at the next period
+		// boundary (rt_task_make_periodic semantics). Without the phase,
+		// release index 0 would be nominally at time zero and the task
+		// would burn through a catch-up burst of skipped releases.
+		if now := int64(d.kernel.Now()); now > 0 {
+			p := int64(spec.Period)
+			spec.Phase = time.Duration((now + p - 1) / p * p)
+		}
 	case descriptor.Aperiodic:
 		spec.Type = rtos.Aperiodic
 		spec.ExecTime = d.opts.DefaultAperiodicCost

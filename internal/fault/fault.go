@@ -1,0 +1,113 @@
+// Package fault is a deterministic fault injector for DRCom systems: it
+// perturbs a running System through scripted campaigns driven entirely by
+// the simulated clock, so the same seed and the same campaign produce a
+// byte-identical sequence of injections, violations, and recoveries.
+//
+// Supported fault kinds cover the failure modes the paper's adaptation
+// story must survive: execution-time inflation (a component silently
+// exceeding its declared cpuusage budget), stuck tasks (deadline-miss
+// storms), IPC faults (mailboxes dropping or duplicating messages, SHM
+// segments going stale), spurious bundle stops, and resolver flapping (a
+// customized resolving service that changes its vote at run time).
+//
+// Faults are plain data: a Campaign is a list of (at, duration, kind,
+// target) tuples. The injector schedules apply/clear callbacks on the sim
+// clock, tracks which faults are open, and re-applies open faults when the
+// DRCR recreates a component's task after re-admission — so a fault
+// outlives the suspension it provokes, exactly like a real defect would.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an injectable fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// ExecInflate multiplies the target task's execution time by Factor,
+	// making the component overrun its declared budget.
+	ExecInflate Kind = iota + 1
+	// Stall makes the target task run far past its deadline every release
+	// (a stuck component: deadline-miss storm).
+	Stall
+	// MailboxDrop makes the target mailbox silently discard every send.
+	MailboxDrop
+	// MailboxDup makes the target mailbox enqueue every message twice.
+	MailboxDup
+	// SHMFreeze makes the target SHM segment ignore writes, so its
+	// generation counter stops advancing (stale port).
+	SHMFreeze
+	// BundleStop spuriously stops the target bundle (restarted on clear).
+	BundleStop
+	// ResolverFlap registers a customized resolving service that denies
+	// the target component while the fault is open, then withdraws the
+	// veto — a resolver changing its vote at run time.
+	ResolverFlap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ExecInflate:
+		return "exec-inflate"
+	case Stall:
+		return "stall"
+	case MailboxDrop:
+		return "mailbox-drop"
+	case MailboxDup:
+		return "mailbox-dup"
+	case SHMFreeze:
+		return "shm-freeze"
+	case BundleStop:
+		return "bundle-stop"
+	case ResolverFlap:
+		return "resolver-flap"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scripted perturbation.
+type Fault struct {
+	Kind Kind
+	// Target names what the fault hits: a component/task name for
+	// ExecInflate, Stall and ResolverFlap; a mailbox or SHM name for the
+	// IPC kinds; a bundle symbolic name for BundleStop.
+	Target string
+	// At is the injection time, as an offset from Install.
+	At time.Duration
+	// For is how long the fault stays open; zero means it never clears.
+	For time.Duration
+	// Factor is the execution-time multiplier for ExecInflate (default 2).
+	Factor float64
+}
+
+// Campaign is a named, ordered fault script.
+type Campaign struct {
+	Name   string
+	Faults []Fault
+}
+
+// Record is one entry of the injector's trace.
+type Record struct {
+	At     sim.Time
+	Action string // "inject" | "clear" | "reapply" | "error"
+	Kind   Kind
+	Target string
+	Detail string
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("[%v] %s %v %s%s", r.At, r.Action, r.Kind, r.Target, suffix(r.Detail))
+}
+
+func suffix(detail string) string {
+	if detail == "" {
+		return ""
+	}
+	return " (" + detail + ")"
+}

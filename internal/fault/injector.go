@@ -1,0 +1,307 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ldap"
+	"repro/internal/osgi"
+	"repro/internal/policy"
+	"repro/internal/rtos/ipc"
+	"repro/internal/sim"
+)
+
+// Injector applies scripted fault campaigns to a running DRCom stack.
+type Injector struct {
+	d  *core.DRCR
+	fw *osgi.Framework
+
+	// Open faults, keyed by target, so they survive the target's
+	// suspension: the DRCR recreates tasks and IPC objects on
+	// re-admission and the lifecycle listener re-applies what is open.
+	openScale map[string]float64
+	openStall map[string]bool
+	openBox   map[string]ipc.MailboxFault
+	openSHM   map[string]bool
+	denied    map[string]bool
+
+	flapReg        *osgi.ServiceRegistration
+	removeListener func()
+	pending        []*sim.Event
+	trace          []Record
+}
+
+// New builds an injector over a DRCR. The framework is needed only for
+// BundleStop and ResolverFlap faults; pass nil to forbid those kinds.
+func New(d *core.DRCR, fw *osgi.Framework) (*Injector, error) {
+	if d == nil {
+		return nil, errors.New("fault: injector needs a DRCR")
+	}
+	inj := &Injector{
+		d:         d,
+		fw:        fw,
+		openScale: map[string]float64{},
+		openStall: map[string]bool{},
+		openBox:   map[string]ipc.MailboxFault{},
+		openSHM:   map[string]bool{},
+		denied:    map[string]bool{},
+	}
+	// Re-admission tears down and rebuilds the offender's task and owned
+	// IPC objects; a fault that is still open must follow the component
+	// into its new incarnation or healing would be trivial.
+	inj.removeListener = d.AddListener(func(e core.Event) {
+		if e.To == core.Active {
+			inj.reapply(e.Component)
+		}
+	})
+	return inj, nil
+}
+
+// Close cancels pending injections, clears every open fault, withdraws
+// the flapping resolver, and detaches from the DRCR.
+func (inj *Injector) Close() {
+	for _, ev := range inj.pending {
+		ev.Cancel()
+	}
+	inj.pending = nil
+	for name := range inj.openScale {
+		inj.clear(Fault{Kind: ExecInflate, Target: name})
+	}
+	for name := range inj.openStall {
+		inj.clear(Fault{Kind: Stall, Target: name})
+	}
+	for name := range inj.openBox {
+		inj.clear(Fault{Kind: MailboxDrop, Target: name})
+	}
+	for name := range inj.openSHM {
+		inj.clear(Fault{Kind: SHMFreeze, Target: name})
+	}
+	for name := range inj.denied {
+		inj.clear(Fault{Kind: ResolverFlap, Target: name})
+	}
+	if inj.flapReg != nil {
+		_ = inj.flapReg.Unregister()
+		inj.flapReg = nil
+	}
+	if inj.removeListener != nil {
+		inj.removeListener()
+		inj.removeListener = nil
+	}
+}
+
+// Trace returns a copy of the injection trace.
+func (inj *Injector) Trace() []Record {
+	out := make([]Record, len(inj.trace))
+	copy(out, inj.trace)
+	return out
+}
+
+// Install schedules every fault of the campaign on the simulated clock,
+// relative to now.
+func (inj *Injector) Install(c Campaign) error {
+	clock := inj.d.Kernel().Clock()
+	for i := range c.Faults {
+		f := c.Faults[i]
+		if err := inj.validate(f); err != nil {
+			return fmt.Errorf("fault: campaign %q: %w", c.Name, err)
+		}
+		at := f.At
+		if at < 0 {
+			at = 0
+		}
+		ev, err := clock.After(at, "fault:inject:"+f.Kind.String(), func(sim.Time) {
+			inj.apply(f)
+		})
+		if err != nil {
+			return err
+		}
+		inj.pending = append(inj.pending, ev)
+		if f.For > 0 {
+			ev, err := clock.After(at+f.For, "fault:clear:"+f.Kind.String(), func(sim.Time) {
+				inj.clear(f)
+			})
+			if err != nil {
+				return err
+			}
+			inj.pending = append(inj.pending, ev)
+		}
+	}
+	return nil
+}
+
+func (inj *Injector) validate(f Fault) error {
+	if f.Target == "" {
+		return errors.New("fault needs a target")
+	}
+	switch f.Kind {
+	case ExecInflate, Stall, MailboxDrop, MailboxDup, SHMFreeze:
+		return nil
+	case BundleStop, ResolverFlap:
+		if inj.fw == nil {
+			return fmt.Errorf("%v needs a framework", f.Kind)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown fault kind %v", f.Kind)
+	}
+}
+
+func (inj *Injector) apply(f Fault) {
+	now := inj.d.Kernel().Now()
+	switch f.Kind {
+	case ExecInflate:
+		factor := f.Factor
+		if factor <= 0 {
+			factor = 2
+		}
+		inj.openScale[f.Target] = factor
+		inj.setScale(f.Target, factor)
+		inj.record(now, "inject", f.Kind, f.Target, fmt.Sprintf("factor %.2f", factor))
+	case Stall:
+		inj.openStall[f.Target] = true
+		inj.setStall(f.Target, true)
+		inj.record(now, "inject", f.Kind, f.Target, "")
+	case MailboxDrop:
+		inj.openBox[f.Target] = ipc.MailboxDropAll
+		inj.setBoxFault(f.Target, ipc.MailboxDropAll)
+		inj.record(now, "inject", f.Kind, f.Target, "")
+	case MailboxDup:
+		inj.openBox[f.Target] = ipc.MailboxDuplicate
+		inj.setBoxFault(f.Target, ipc.MailboxDuplicate)
+		inj.record(now, "inject", f.Kind, f.Target, "")
+	case SHMFreeze:
+		inj.openSHM[f.Target] = true
+		inj.setFrozen(f.Target, true)
+		inj.record(now, "inject", f.Kind, f.Target, "")
+	case BundleStop:
+		if b := inj.fw.BundleByName(f.Target); b != nil {
+			if err := b.Stop(); err != nil {
+				inj.record(now, "error", f.Kind, f.Target, err.Error())
+				return
+			}
+			inj.record(now, "inject", f.Kind, f.Target, "")
+		} else {
+			inj.record(now, "error", f.Kind, f.Target, "no such bundle")
+		}
+	case ResolverFlap:
+		inj.denied[f.Target] = true
+		inj.ensureFlapResolver()
+		inj.record(now, "inject", f.Kind, f.Target, "resolver now denies")
+		inj.d.Resolve()
+	}
+}
+
+func (inj *Injector) clear(f Fault) {
+	now := inj.d.Kernel().Now()
+	switch f.Kind {
+	case ExecInflate:
+		delete(inj.openScale, f.Target)
+		inj.setScale(f.Target, 1)
+		inj.record(now, "clear", f.Kind, f.Target, "")
+	case Stall:
+		delete(inj.openStall, f.Target)
+		inj.setStall(f.Target, false)
+		inj.record(now, "clear", f.Kind, f.Target, "")
+	case MailboxDrop, MailboxDup:
+		delete(inj.openBox, f.Target)
+		inj.setBoxFault(f.Target, ipc.MailboxHealthy)
+		inj.record(now, "clear", f.Kind, f.Target, "")
+	case SHMFreeze:
+		delete(inj.openSHM, f.Target)
+		inj.setFrozen(f.Target, false)
+		inj.record(now, "clear", f.Kind, f.Target, "")
+	case BundleStop:
+		if b := inj.fw.BundleByName(f.Target); b != nil {
+			if err := b.Start(); err != nil {
+				inj.record(now, "error", f.Kind, f.Target, err.Error())
+				return
+			}
+			inj.record(now, "clear", f.Kind, f.Target, "bundle restarted")
+		}
+	case ResolverFlap:
+		delete(inj.denied, f.Target)
+		inj.record(now, "clear", f.Kind, f.Target, "resolver admits again")
+		inj.d.Resolve()
+	}
+}
+
+// reapply pushes still-open task and IPC faults onto a component's fresh
+// incarnation after the DRCR re-admits it.
+func (inj *Injector) reapply(component string) {
+	now := inj.d.Kernel().Now()
+	if factor, ok := inj.openScale[component]; ok {
+		inj.setScale(component, factor)
+		inj.record(now, "reapply", ExecInflate, component, fmt.Sprintf("factor %.2f", factor))
+	}
+	if inj.openStall[component] {
+		inj.setStall(component, true)
+		inj.record(now, "reapply", Stall, component, "")
+	}
+	// Owned IPC objects are recreated with the component's outport names.
+	if info, ok := inj.d.Component(component); ok {
+		for _, p := range info.OutPorts {
+			if mode, ok := inj.openBox[p.Name]; ok {
+				inj.setBoxFault(p.Name, mode)
+				inj.record(now, "reapply", MailboxDrop, p.Name, mode.String())
+			}
+			if inj.openSHM[p.Name] {
+				inj.setFrozen(p.Name, true)
+				inj.record(now, "reapply", SHMFreeze, p.Name, "")
+			}
+		}
+	}
+}
+
+func (inj *Injector) setScale(task string, factor float64) {
+	if t, ok := inj.d.Kernel().Task(task); ok {
+		t.SetExecScale(factor)
+	}
+}
+
+func (inj *Injector) setStall(task string, stalled bool) {
+	if t, ok := inj.d.Kernel().Task(task); ok {
+		t.SetStalled(stalled)
+	}
+}
+
+func (inj *Injector) setBoxFault(name string, mode ipc.MailboxFault) {
+	if m, err := inj.d.Kernel().IPC().Mailbox(name); err == nil {
+		m.SetFault(mode)
+	}
+}
+
+func (inj *Injector) setFrozen(name string, frozen bool) {
+	if s, err := inj.d.Kernel().IPC().SHM(name); err == nil {
+		s.SetFrozen(frozen)
+	}
+}
+
+// ensureFlapResolver lazily publishes the flapping resolving service: a
+// policy.Func that consults the injector's live denial set, so the same
+// registered service flips its vote as faults open and close.
+func (inj *Injector) ensureFlapResolver() {
+	if inj.flapReg != nil {
+		return
+	}
+	flap := policy.Func{
+		Label: "fault-flap",
+		F: func(_ policy.View, cand policy.Contract) policy.Decision {
+			if inj.denied[cand.Name] {
+				return policy.Decision{Reason: "fault injector veto"}
+			}
+			return policy.Decision{Admit: true, Reason: "no open veto"}
+		},
+	}
+	reg, err := inj.fw.RegisterService([]string{policy.ServiceInterface},
+		policy.Resolver(flap), ldap.Properties{"resolver.name": flap.Label})
+	if err != nil {
+		inj.record(inj.d.Kernel().Now(), "error", ResolverFlap, "", err.Error())
+		return
+	}
+	inj.flapReg = reg
+}
+
+func (inj *Injector) record(at sim.Time, action string, kind Kind, target, detail string) {
+	inj.trace = append(inj.trace, Record{At: at, Action: action, Kind: kind, Target: target, Detail: detail})
+}

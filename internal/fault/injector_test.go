@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/manifest"
+	"repro/internal/osgi"
+	"repro/internal/rtos"
+)
+
+const calcXML = `<component name="calc" desc="computing job" type="periodic" cpuusage="0.05">
+  <implementation bincode="demo.Calculation"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <outport name="lat" interface="RTAI.SHM" type="Integer" size="100"/>
+</component>`
+
+const dispXML = `<component name="disp" desc="display" type="periodic" cpuusage="0.01">
+  <implementation bincode="demo.Display"/>
+  <periodictask frequence="4" runoncup="0" priority="2"/>
+  <inport name="lat" interface="RTAI.SHM" type="Integer" size="100"/>
+</component>`
+
+func rig(t *testing.T) (*osgi.Framework, *rtos.Kernel, *core.DRCR) {
+	t.Helper()
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{Seed: 3})
+	d, err := core.New(fw, k, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return fw, k, d
+}
+
+func deploy(t *testing.T, d *core.DRCR, srcs ...string) {
+	t.Helper()
+	for _, src := range srcs {
+		desc, err := descriptor.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Deploy(desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	_, _, d := rig(t)
+	inj, err := New(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	if err := inj.Install(Campaign{Faults: []Fault{{Kind: ExecInflate}}}); err == nil {
+		t.Error("fault without target accepted")
+	}
+	if err := inj.Install(Campaign{Faults: []Fault{{Kind: BundleStop, Target: "b"}}}); err == nil {
+		t.Error("BundleStop without framework accepted")
+	}
+	if err := inj.Install(Campaign{Faults: []Fault{{Kind: Kind(99), Target: "x"}}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil DRCR accepted")
+	}
+}
+
+func TestExecInflateAppliesAndClears(t *testing.T) {
+	fw, k, d := rig(t)
+	deploy(t, d, calcXML)
+	inj, err := New(d, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	err = inj.Install(Campaign{Name: "t", Faults: []Fault{{
+		Kind: ExecInflate, Target: "calc", At: time.Millisecond, For: 2 * time.Millisecond, Factor: 3,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, _ := k.Task("calc")
+	if err := k.Run(1500 * time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExecScale() != 3 {
+		t.Errorf("mid-fault exec scale = %v, want 3", task.ExecScale())
+	}
+	if err := k.Run(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExecScale() != 1 {
+		t.Errorf("post-fault exec scale = %v, want 1", task.ExecScale())
+	}
+	tr := inj.Trace()
+	if len(tr) != 2 || tr[0].Action != "inject" || tr[1].Action != "clear" {
+		t.Errorf("trace = %v, want inject then clear", tr)
+	}
+}
+
+func TestReapplyOnReactivation(t *testing.T) {
+	fw, k, d := rig(t)
+	deploy(t, d, calcXML)
+	inj, err := New(d, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	err = inj.Install(Campaign{Name: "t", Faults: []Fault{{
+		Kind: Stall, Target: "calc", At: time.Millisecond, // never clears
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the guard's reaction: tear the offender down and re-admit.
+	if err := d.RevokeBudget("calc", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RestoreBudget("calc"); err != nil {
+		t.Fatal(err)
+	}
+	task, ok := k.Task("calc")
+	if !ok {
+		t.Fatal("calc task missing after restore")
+	}
+	if !task.Stalled() {
+		t.Error("open stall fault not re-applied to recreated task")
+	}
+	found := false
+	for _, r := range inj.Trace() {
+		if r.Action == "reapply" && r.Kind == Stall {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no reapply record in trace: %v", inj.Trace())
+	}
+}
+
+func TestResolverFlapBlocksReadmission(t *testing.T) {
+	fw, k, d := rig(t)
+	deploy(t, d, calcXML, dispXML)
+	inj, err := New(d, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	err = inj.Install(Campaign{Name: "t", Faults: []Fault{{
+		Kind: ResolverFlap, Target: "calc", At: time.Millisecond, For: 5 * time.Millisecond,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// An already-active component keeps running — the flapping resolver
+	// only vetoes future admissions.
+	if info, _ := d.Component("calc"); info.State != core.Active {
+		t.Fatalf("active calc evicted by flap: %v", info.State)
+	}
+	// But once calc needs re-admission, the veto bites.
+	if err := d.RevokeBudget("calc", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RestoreBudget("calc"); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := d.Component("calc"); info.State == core.Active {
+		t.Fatal("calc re-admitted while resolver flap open")
+	}
+	if info, _ := d.Component("disp"); info.State == core.Active {
+		t.Fatal("disp active without its provider")
+	}
+	// When the flap clears, the injector re-resolves and the pair returns.
+	if err := k.Run(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := d.Component("calc"); info.State != core.Active {
+		t.Errorf("calc = %v after flap cleared, want ACTIVE", info.State)
+	}
+	if info, _ := d.Component("disp"); info.State != core.Active {
+		t.Errorf("disp = %v after flap cleared, want ACTIVE", info.State)
+	}
+}
+
+func TestBundleStopAndRestart(t *testing.T) {
+	fw, k, d := rig(t)
+	m := manifest.New("demo.calc", manifest.MustParseVersion("1.0"))
+	m.DRComComponents = []string{"OSGI-INF/calc.xml"}
+	b, err := fw.Install(osgi.Definition{
+		Manifest:  m,
+		Resources: map[string]string{"OSGI-INF/calc.xml": calcXML},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := d.Component("calc"); info.State != core.Active {
+		t.Fatalf("calc = %v, want ACTIVE", info.State)
+	}
+	inj, err := New(d, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	err = inj.Install(Campaign{Name: "t", Faults: []Fault{{
+		Kind: BundleStop, Target: "demo.calc", At: time.Millisecond, For: 2 * time.Millisecond,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Component("calc"); ok {
+		t.Error("calc still managed while its bundle is stopped")
+	}
+	if err := k.Run(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if info, ok := d.Component("calc"); !ok || info.State != core.Active {
+		t.Errorf("calc not ACTIVE after bundle restart (ok=%v)", ok)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{ExecInflate, Stall, MailboxDrop, MailboxDup, SHMFreeze, BundleStop, ResolverFlap}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate string %q", int(k), s)
+		}
+		seen[s] = true
+	}
+}

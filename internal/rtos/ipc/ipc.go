@@ -83,11 +83,12 @@ func ValidName(s string) bool {
 // kernel is single-threaded, but examples may touch segments from test
 // goroutines).
 type SHM struct {
-	name  string
-	typ   ElemType
-	mu    sync.Mutex
-	words []int64 // one logical cell per element regardless of ElemType
-	gen   uint64  // bumped on every write, for freshness checks
+	name   string
+	typ    ElemType
+	mu     sync.Mutex
+	words  []int64 // one logical cell per element regardless of ElemType
+	gen    uint64  // bumped on every write, for freshness checks
+	frozen bool    // fault injection: writes silently ignored (see faults.go)
 }
 
 // Name returns the segment name.
@@ -116,6 +117,9 @@ func (s *SHM) Set(i int, v int64) error {
 	if i < 0 || i >= len(s.words) {
 		return ErrBadBounds
 	}
+	if s.frozen {
+		return nil // staleness fault: the write is silently lost
+	}
 	s.words[i] = clampElem(s.typ, v)
 	s.gen++
 	return nil
@@ -138,6 +142,9 @@ func (s *SHM) WriteAll(vs []int64) error {
 	defer s.mu.Unlock()
 	if len(vs) > len(s.words) {
 		return ErrBadBounds
+	}
+	if s.frozen {
+		return nil // staleness fault: the write is silently lost
 	}
 	for i, v := range vs {
 		s.words[i] = clampElem(s.typ, v)
@@ -187,6 +194,8 @@ type Mailbox struct {
 	sent     uint64
 	received uint64
 	dropped  uint64
+
+	fault MailboxFault // fault injection: delivery mode (see faults.go)
 }
 
 // Name returns the mailbox name.
@@ -207,6 +216,10 @@ func (m *Mailbox) Len() int {
 func (m *Mailbox) Send(msg []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.fault == MailboxDropAll {
+		m.dropped++
+		return nil // silent-loss fault: the sender believes it succeeded
+	}
 	if len(m.q) >= m.cap {
 		m.dropped++
 		return ErrFull
@@ -215,6 +228,12 @@ func (m *Mailbox) Send(msg []byte) error {
 	copy(cp, msg)
 	m.q = append(m.q, cp)
 	m.sent++
+	if m.fault == MailboxDuplicate && len(m.q) < m.cap {
+		dup := make([]byte, len(msg))
+		copy(dup, msg)
+		m.q = append(m.q, dup)
+		m.sent++
+	}
 	return nil
 }
 

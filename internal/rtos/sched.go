@@ -215,6 +215,7 @@ func (c *cpu) preemptRunning(now sim.Time) {
 		j.remaining = 0
 	}
 	c.busy += elapsed
+	j.task.consumed += elapsed
 	c.cancelSliceEvents()
 	c.running = nil
 	j.seq = c.nextSeq
@@ -235,6 +236,7 @@ func (c *cpu) rotate(k *Kernel, now sim.Time) {
 		j.remaining = 0
 	}
 	c.busy += elapsed
+	j.task.consumed += elapsed
 	c.cancelSliceEvents()
 	c.running = nil
 	if j.remaining > 0 {
@@ -256,6 +258,7 @@ func (c *cpu) complete(k *Kernel, now sim.Time) {
 		return
 	}
 	c.busy += now.Sub(c.sliceStart)
+	j.task.consumed += now.Sub(c.sliceStart)
 	c.cancelSliceEvents()
 	c.running = nil
 	j.remaining = 0

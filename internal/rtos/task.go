@@ -170,8 +170,15 @@ type Task struct {
 	latency  metrics.Series // first-dispatch latency vs nominal release
 	response metrics.Series // completion time vs nominal release
 	jobsDone uint64
-	misses   uint64 // completions past the deadline
-	skips    uint64 // releases dropped because the previous job still ran
+	misses   uint64       // completions past the deadline
+	skips    uint64       // releases dropped because the previous job still ran
+	consumed sim.Duration // lifetime execution time charged to this task's jobs
+
+	// Fault-injection hooks (package fault): a runtime multiplier on the
+	// sampled execution cost and a wedged-task flag. Both default to the
+	// healthy behaviour and never perturb the random streams.
+	execScale float64 // 0 or 1 = nominal
+	stalled   bool
 }
 
 // TaskStats is a snapshot of a task's runtime counters.
@@ -220,6 +227,56 @@ func (t *Task) Stats() TaskStats {
 func (t *Task) Counters() (jobs, misses, skips uint64) {
 	return t.jobsDone, t.misses, t.skips
 }
+
+// TaskMetrics is the O(1) live accounting snapshot runtime contract
+// monitors read every check: job/miss/skip counters plus the execution
+// time the kernel has actually charged to the task — the measured side of
+// the declared cpuusage budget.
+type TaskMetrics struct {
+	Jobs     uint64
+	Misses   uint64
+	Skips    uint64
+	Consumed time.Duration // lifetime execution time consumed by this task's jobs
+}
+
+// Metrics returns the live counter snapshot without computing latency
+// statistics. Unlike the HRC status snapshot (refreshed once per job) it
+// is current as of the instant of the call.
+func (t *Task) Metrics() TaskMetrics {
+	return TaskMetrics{Jobs: t.jobsDone, Misses: t.misses, Skips: t.skips, Consumed: t.consumed}
+}
+
+// ConsumedCPU reports the total execution time the kernel has charged to
+// this task's jobs, including partial slices of preempted jobs.
+func (t *Task) ConsumedCPU() time.Duration { return t.consumed }
+
+// SetExecScale multiplies the sampled execution cost of future jobs by f,
+// the fault injector's budget-overrun perturbation. Values <= 0 or 1
+// restore the nominal cost. The jitter stream is drawn exactly as in the
+// healthy path, so a scaled run stays deterministic for its seed.
+func (t *Task) SetExecScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	t.execScale = f
+}
+
+// ExecScale reports the current execution-cost multiplier (1 = nominal).
+func (t *Task) ExecScale() float64 {
+	if t.execScale <= 0 {
+		return 1
+	}
+	return t.execScale
+}
+
+// SetStalled wedges or heals the task. A stalled task's jobs run for
+// twice the task period (periodic) or one millisecond (aperiodic)
+// regardless of the declared cost, provoking the deadline-miss storm and
+// release skips of a stuck component.
+func (t *Task) SetStalled(stalled bool) { t.stalled = stalled }
+
+// Stalled reports whether the task is currently wedged.
+func (t *Task) Stalled() bool { return t.stalled }
 
 // LatencySamples returns a copy of the recorded dispatch-latency samples
 // in nanoseconds (negative = dispatched before nominal release).
@@ -420,6 +477,18 @@ func (t *Task) sampleExec() time.Duration {
 			f = 0.1
 		}
 		exec = time.Duration(float64(exec) * f)
+	}
+	if t.stalled {
+		// Wedged: the job occupies the CPU far past its deadline. The
+		// jitter draw above still happened, so healing the task leaves the
+		// random stream exactly where a healthy run would have it.
+		if t.spec.Type == Periodic {
+			return 2 * t.spec.Period
+		}
+		return time.Millisecond
+	}
+	if t.execScale > 0 && t.execScale != 1 {
+		exec = time.Duration(float64(exec) * t.execScale)
 	}
 	exec += t.spec.Overhead
 	if exec <= 0 {

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// faultCampaignGolden pins the guard's enforcement-trace digest for the
+// standard campaign at seed 1 with default guard options. The digest
+// covers every violation, revocation, and restore with timestamps and
+// measured utilizations: any change to scheduling, accounting, fault
+// timing, or guard policy shows up here. Refresh deliberately, never
+// casually.
+const faultCampaignGolden = "0e61e15dfed28b9fdd9d20bcb1a2d6556f22965cf714b628ab762927e8e36f96"
+
+func TestFaultCampaignRepeatable(t *testing.T) {
+	first, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TraceDigest != second.TraceDigest {
+		t.Errorf("trace digest differs across identical runs: %s vs %s", first.TraceDigest, second.TraceDigest)
+	}
+	if len(first.Violations) != len(second.Violations) {
+		t.Errorf("violation count differs: %d vs %d", len(first.Violations), len(second.Violations))
+	}
+	if len(first.Events) != len(second.Events) {
+		t.Errorf("event count differs: %d vs %d", len(first.Events), len(second.Events))
+	}
+}
+
+func TestFaultCampaignGoldenDigest(t *testing.T) {
+	res, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceDigest != faultCampaignGolden {
+		t.Errorf("fault-campaign trace digest = %s, want %s\ntrace:\n%v",
+			res.TraceDigest, faultCampaignGolden, res.GuardTrace)
+	}
+}
+
+func TestFaultCampaignContainmentAndRecovery(t *testing.T) {
+	res, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The inflated execution time must surface as a budget-overrun
+	// violation against calc.
+	if len(res.Violations) == 0 {
+		t.Fatal("no violations detected")
+	}
+	v := res.Violations[0]
+	if v.Component != "calc" || v.Kind != contract.BudgetOverrun {
+		t.Errorf("first violation = %v, want calc budget-overrun", v)
+	}
+	if res.DetectionLatency <= 0 || res.DetectionLatency > 50*time.Millisecond {
+		t.Errorf("detection latency = %v, want within a few guard windows", res.DetectionLatency)
+	}
+
+	// Enforcement: at least one revoke, and the dependant cascades.
+	if res.RevokeCount == 0 || res.RestoreCount == 0 {
+		t.Fatalf("revokes=%d restores=%d, want both > 0", res.RevokeCount, res.RestoreCount)
+	}
+	cascade := false
+	for _, ev := range res.Events {
+		if ev.Component == "disp" && ev.To == core.Unsatisfied && ev.At >= v.At {
+			cascade = true
+		}
+	}
+	if !cascade {
+		t.Error("disp never cascaded to UNSATISFIED after calc's violation")
+	}
+
+	// Recovery: after the fault clears, both components end ACTIVE, with
+	// the provider activating no later than its dependant.
+	for _, info := range res.Final {
+		if info.State != core.Active {
+			t.Errorf("final state of %s = %v, want ACTIVE", info.Name, info.State)
+		}
+		if info.Revoked {
+			t.Errorf("%s still revoked at end of run", info.Name)
+		}
+	}
+	faultClear := sim.Time(FaultStart + FaultDuration)
+	if res.RecoveredAt <= faultClear {
+		t.Errorf("recovered at %v, want after fault clear %v", res.RecoveredAt, faultClear)
+	}
+	if res.MTTR <= 0 || res.MTTR > 400*time.Millisecond {
+		t.Errorf("MTTR = %v, want positive and bounded", res.MTTR)
+	}
+	// Dependency order: every disp activation is preceded (in event
+	// order) by its provider's activation at the same instant.
+	calcActiveAt := map[sim.Time]bool{}
+	for _, ev := range res.Events {
+		if ev.Component == "calc" && ev.To == core.Active {
+			calcActiveAt[ev.At] = true
+		}
+		if ev.Component == "disp" && ev.To == core.Active && !calcActiveAt[ev.At] {
+			t.Errorf("disp activated at %v before calc", ev.At)
+		}
+	}
+
+	// Containment: disp's dispatch latency stays at its fault-free level
+	// (worst case ≈31 µs of release-instant contention with calc's 30 µs
+	// job) instead of the ≈120 µs the uncontained inflated job causes.
+	if res.DispMaxAbs >= 35000 {
+		t.Errorf("guarded disp max |latency| = %d ns, want < 35000", res.DispMaxAbs)
+	}
+}
+
+func TestFaultCampaignUnguardedBreaksBound(t *testing.T) {
+	un, err := RunFaultCampaign(FaultCampaignConfig{Guarded: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(un.Violations) != 0 || un.RevokeCount != 0 {
+		t.Errorf("unguarded run recorded enforcement: %d violations, %d revokes", len(un.Violations), un.RevokeCount)
+	}
+	// Without the guard the inflated calc job blocks disp's dispatch for
+	// ~4× the 30 µs bound.
+	if un.DispMaxAbs <= 100000 {
+		t.Errorf("unguarded disp max |latency| = %d ns, want > 100000 (uncontained fault)", un.DispMaxAbs)
+	}
+	g, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DispMaxAbs*2 >= un.DispMaxAbs {
+		t.Errorf("guard did not contain the fault: guarded %d ns vs unguarded %d ns", g.DispMaxAbs, un.DispMaxAbs)
+	}
+}
+
+func TestFaultCampaignOtherKinds(t *testing.T) {
+	stall := fault.Campaign{Name: "calc-stall", Faults: []fault.Fault{{
+		Kind: fault.Stall, Target: "calc", At: 300 * time.Millisecond, For: 200 * time.Millisecond,
+	}}}
+	res, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true, Campaign: &stall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Component == "calc" && v.Kind == contract.DeadlineMiss {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stall campaign produced no deadline-miss violation: %v", res.Violations)
+	}
+
+	freeze := fault.Campaign{Name: "lat-freeze", Faults: []fault.Fault{{
+		Kind: fault.SHMFreeze, Target: LatencySHM, At: 300 * time.Millisecond, For: 200 * time.Millisecond,
+	}}}
+	res, err = RunFaultCampaign(FaultCampaignConfig{Guarded: true, Campaign: &freeze})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, v := range res.Violations {
+		if v.Component == "calc" && v.Kind == contract.PortStale {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("freeze campaign produced no port-stale violation: %v", res.Violations)
+	}
+	for _, info := range res.Final {
+		if info.State != core.Active {
+			t.Errorf("after freeze cleared, %s = %v, want ACTIVE", info.Name, info.State)
+		}
+	}
+}
