@@ -7,7 +7,9 @@
 // Usage:
 //
 //	latbench [-samples N] [-seed S] [-workers W] [-table1] [-hist]
-//	         [-ablations] [-faults] [-benchjson FILE] [-all]
+//	         [-ablations] [-faults] [-benchjson FILE]
+//	         [-churn] [-churnjson FILE] [-churnsizes N,N,...] [-churnsteps N]
+//	         [-all]
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -26,25 +30,32 @@ import (
 
 func main() {
 	var (
-		samples   = flag.Int("samples", 60000, "latency samples per configuration")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		table1    = flag.Bool("table1", false, "run the Table 1 latency test")
-		hist      = flag.Bool("hist", false, "render latency distribution histograms")
-		ablations = flag.Bool("ablations", false, "run the design ablations")
-		gantt     = flag.Bool("gantt", false, "render a scheduler Gantt chart of the §4.2 pair")
-		dump      = flag.String("dump", "", "write raw HRC-light latency samples (ns) to this CSV file")
-		workers   = flag.Int("workers", 0, "goroutine pool size for parallel runs (0 = NumCPU)")
-		benchjson = flag.String("benchjson", "", "measure hot-path and Monte-Carlo perf, write JSON report to this file")
-		faults    = flag.Bool("faults", false, "run the fault-injection ablation (contract guard on/off)")
-		all       = flag.Bool("all", false, "run everything")
+		samples    = flag.Int("samples", 60000, "latency samples per configuration")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		table1     = flag.Bool("table1", false, "run the Table 1 latency test")
+		hist       = flag.Bool("hist", false, "render latency distribution histograms")
+		ablations  = flag.Bool("ablations", false, "run the design ablations")
+		gantt      = flag.Bool("gantt", false, "render a scheduler Gantt chart of the §4.2 pair")
+		dump       = flag.String("dump", "", "write raw HRC-light latency samples (ns) to this CSV file")
+		workers    = flag.Int("workers", 0, "goroutine pool size for parallel runs (0 = NumCPU)")
+		benchjson  = flag.String("benchjson", "", "measure hot-path and Monte-Carlo perf, write JSON report to this file")
+		faults     = flag.Bool("faults", false, "run the fault-injection ablation (contract guard on/off)")
+		churn      = flag.Bool("churn", false, "run the resolve-churn benchmark (full-sweep vs worklist engine)")
+		churnjson  = flag.String("churnjson", "", "write the resolve-churn JSON report to this file (implies -churn)")
+		churnsizes = flag.String("churnsizes", "100,1000,5000", "comma-separated component-population sizes for -churn")
+		churnsteps = flag.Int("churnsteps", 0, "storm steps per churn size (0 = auto-scale per size)")
+		all        = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
 	perf := *benchjson != ""
+	if *churnjson != "" {
+		*churn = true
+	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults = true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn = true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -53,6 +64,9 @@ func main() {
 	}
 	if perf {
 		runBenchJSON(*benchjson, *seed, *workers)
+	}
+	if *churn {
+		runChurn(*churnjson, *churnsizes, *churnsteps, *seed)
 	}
 	if *hist {
 		runHistograms(*samples, *seed)
@@ -146,6 +160,48 @@ func runBenchJSON(path string, seed uint64, workers int) {
 	fmt.Println(bench.FormatPerf(rep))
 	fmt.Printf("kernel hot path: %.0f events/s, %.1f ns/event, %.4f allocs/event\n",
 		rep.Kernel.EventsPerSec, rep.Kernel.NSPerEvent, rep.Kernel.AllocsPerEvent)
+	if path == "" {
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// runChurn replays the seeded lifecycle storm on the reference full-sweep
+// resolve engine and the incremental worklist engine at each population
+// size. With a path it writes the machine-readable BENCH_resolve.json so
+// successive revisions carry a comparable resolve-throughput trajectory.
+func runChurn(path, sizesCSV string, steps int, seed uint64) {
+	var sizes []int
+	for _, f := range strings.Split(sizesCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			log.Fatalf("-churnsizes: bad size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	rep, err := bench.MeasureChurn(bench.ChurnConfig{
+		Sizes: sizes, Steps: steps, Seed: int64(seed),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatChurn(rep))
+	for _, row := range rep.Rows {
+		if !row.TraceMatch || !row.StateMatch {
+			log.Fatalf("churn engines diverged at N=%d", row.Components)
+		}
+	}
 	if path == "" {
 		return
 	}

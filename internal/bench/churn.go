@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Resolve-churn benchmark: replays the same seeded lifecycle storm
+// (workload.RunChurn) against the reference full-sweep resolve engine and
+// the incremental worklist engine, at several population sizes. Every row
+// doubles as a differential test — the two engines must produce identical
+// event traces and final states, or the speedup is meaningless.
+
+// ChurnConfig sizes MeasureChurn. The zero value selects the reference
+// configuration the committed BENCH_resolve.json baseline uses.
+type ChurnConfig struct {
+	// Sizes are the component-population sizes (default 100, 1000, 5000).
+	Sizes []int
+	// Steps per storm; 0 auto-scales per size so the full-sweep side
+	// finishes in reasonable wall time (≈150000/N, clamped to 30..1000).
+	Steps int
+	// Seed for the op storm and the simulated kernel (default 1).
+	Seed int64
+	// FanOut consumers per relay topic (default 3).
+	FanOut int
+}
+
+func (c *ChurnConfig) applyDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{100, 1000, 5000}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = 3
+	}
+}
+
+// autoSteps keeps the O(N²·passes) full-sweep side from dominating the
+// run at large N while still giving the worklist side enough ops to time.
+func autoSteps(components int) int {
+	s := 150000 / components
+	if s < 30 {
+		s = 30
+	}
+	if s > 1000 {
+		s = 1000
+	}
+	return s
+}
+
+// ChurnRow compares the two engines at one population size.
+type ChurnRow struct {
+	Components         int     `json:"components"`
+	Steps              int     `json:"steps"`
+	Events             int     `json:"events"`
+	FullSweepNS        int64   `json:"full_sweep_ns"`
+	WorklistNS         int64   `json:"worklist_ns"`
+	FullSweepOpsPerSec float64 `json:"full_sweep_ops_per_sec"`
+	WorklistOpsPerSec  float64 `json:"worklist_ops_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	// TraceMatch / StateMatch confirm the engines replayed identically.
+	TraceMatch bool `json:"trace_match"`
+	StateMatch bool `json:"state_match"`
+}
+
+// ChurnReport is the machine-readable snapshot cmd/latbench writes to
+// BENCH_resolve.json, committed alongside BENCH_sim.json.
+type ChurnReport struct {
+	GoVersion string     `json:"go_version"`
+	NumCPU    int        `json:"num_cpu"`
+	Seed      int64      `json:"seed"`
+	FanOut    int        `json:"fan_out"`
+	Rows      []ChurnRow `json:"rows"`
+}
+
+// MeasureChurn runs the storm on both engines at every configured size.
+func MeasureChurn(cfg ChurnConfig) (ChurnReport, error) {
+	cfg.applyDefaults()
+	rep := ChurnReport{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Seed:      cfg.Seed,
+		FanOut:    cfg.FanOut,
+	}
+	for _, n := range cfg.Sizes {
+		steps := cfg.Steps
+		if steps <= 0 {
+			steps = autoSteps(n)
+		}
+		spec := workload.ChurnSpec{
+			Components: n, FanOut: cfg.FanOut, Steps: steps, Seed: cfg.Seed,
+		}
+		spec.FullSweep = true
+		ref, err := workload.RunChurn(spec)
+		if err != nil {
+			return ChurnReport{}, fmt.Errorf("bench: full-sweep churn N=%d: %w", n, err)
+		}
+		spec.FullSweep = false
+		inc, err := workload.RunChurn(spec)
+		if err != nil {
+			return ChurnReport{}, fmt.Errorf("bench: worklist churn N=%d: %w", n, err)
+		}
+		row := ChurnRow{
+			Components:  ref.Components,
+			Steps:       steps,
+			Events:      inc.Events,
+			FullSweepNS: ref.StormWall.Nanoseconds(),
+			WorklistNS:  inc.StormWall.Nanoseconds(),
+			TraceMatch:  ref.TraceDigest == inc.TraceDigest,
+			StateMatch:  ref.StateDigest == inc.StateDigest,
+		}
+		if row.FullSweepNS > 0 {
+			row.FullSweepOpsPerSec = float64(steps) / ref.StormWall.Seconds()
+		}
+		if row.WorklistNS > 0 {
+			row.WorklistOpsPerSec = float64(steps) / inc.StormWall.Seconds()
+			row.Speedup = float64(row.FullSweepNS) / float64(row.WorklistNS)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Encode renders the report the way the committed BENCH_resolve.json is
+// stored: two-space indentation, trailing newline, human-diffable.
+func (r ChurnReport) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatChurn renders the report for terminal output alongside the JSON.
+func FormatChurn(r ChurnReport) string {
+	var b strings.Builder
+	b.WriteString("Resolve churn — full-sweep vs incremental worklist\n")
+	fmt.Fprintf(&b, "%10s %8s %14s %14s %9s %7s\n",
+		"components", "steps", "sweep ops/s", "worklist ops/s", "speedup", "match")
+	for _, row := range r.Rows {
+		match := "ok"
+		if !row.TraceMatch || !row.StateMatch {
+			match = "DIVERGE"
+		}
+		fmt.Fprintf(&b, "%10d %8d %14.1f %14.1f %8.1fx %7s\n",
+			row.Components, row.Steps,
+			row.FullSweepOpsPerSec, row.WorklistOpsPerSec, row.Speedup, match)
+	}
+	return b.String()
+}

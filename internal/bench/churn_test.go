@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMeasureChurnSmall(t *testing.T) {
+	rep, err := MeasureChurn(ChurnConfig{Sizes: []int{40}, Steps: 60, Seed: 5})
+	if err != nil {
+		t.Fatalf("MeasureChurn: %v", err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if !row.TraceMatch || !row.StateMatch {
+		t.Errorf("engines diverged: %+v", row)
+	}
+	if row.Components == 0 || row.Events == 0 {
+		t.Errorf("empty run: %+v", row)
+	}
+	if row.FullSweepNS <= 0 || row.WorklistNS <= 0 {
+		t.Errorf("missing timings: %+v", row)
+	}
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var back ChurnReport
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Rows[0].Components != row.Components {
+		t.Errorf("round-trip mismatch: %+v", back.Rows[0])
+	}
+	if FormatChurn(rep) == "" {
+		t.Error("FormatChurn returned empty string")
+	}
+}
+
+func TestAutoSteps(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{100, 1000}, {1000, 150}, {5000, 30}, {100000, 30},
+	} {
+		if got := autoSteps(tc.n); got != tc.want {
+			t.Errorf("autoSteps(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

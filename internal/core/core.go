@@ -20,13 +20,16 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/descriptor"
 	"repro/internal/hrc"
+	"repro/internal/ldap"
 	"repro/internal/osgi"
 	"repro/internal/policy"
 	"repro/internal/rtos"
+	"repro/internal/rtos/ipc"
 	"repro/internal/sim"
 )
 
@@ -124,6 +127,18 @@ func (e Event) String() string {
 	return fmt.Sprintf("[%v] %s: %v -> %v (%s)", e.At, e.Component, e.From, e.To, e.Reason)
 }
 
+// waitKind classifies why a non-admitted component is waiting, so the
+// worklist engine knows which events can change its fate: a port waiter
+// needs a new provider of one of its inport topics, an admission waiter
+// needs the admission view (or the resolver chain) to change.
+type waitKind int
+
+const (
+	waitNone waitKind = iota
+	waitPorts
+	waitAdmission
+)
+
 // Component is the DRCR's record of one declared component.
 type Component struct {
 	desc    *descriptor.Component
@@ -141,6 +156,36 @@ type Component struct {
 	// ownedSHM / ownedBoxes are the IPC objects created for outports.
 	ownedSHM   []string
 	ownedBoxes []string
+
+	// wait records the last resolution failure mode (worklist engine).
+	wait waitKind
+	// Admission decision cache: valid while the drain, view epoch and
+	// resolver-chain epoch all match. Scoped to a single drain because
+	// customized resolving services may be stateful across Resolve calls
+	// (the fault injector's flap resolver is), so reusing a decision from
+	// an earlier Resolve would freeze their answer.
+	cacheDrain      uint64
+	cacheViewEpoch  uint64
+	cacheChainEpoch uint64
+	cachedDecision  policy.Decision
+	cacheValid      bool
+}
+
+// portKey identifies a port topic for index lookups: two ports with equal
+// keys differ at most in size, which the index entries carry explicitly
+// (§2.3: name+interface+type+size determine compatibility).
+type portKey struct {
+	name  string
+	iface descriptor.PortInterface
+	typ   ipc.ElemType
+}
+
+func keyOf(p descriptor.Port) portKey { return portKey{p.Name, p.Interface, p.Type} }
+
+// portProv is one admitted provider of a port topic.
+type portProv struct {
+	name string
+	size int
 }
 
 // Info is a read-only component snapshot.
@@ -180,6 +225,12 @@ type Options struct {
 	// DefaultAperiodicCost is the simulated cost of an aperiodic job;
 	// defaults to 10µs.
 	DefaultAperiodicCost time.Duration
+	// FullSweepResolve selects the reference fixed-point full-sweep
+	// resolution engine instead of the incremental worklist engine. It
+	// exists for differential testing and benchmarking only: both engines
+	// must produce identical lifecycle outcomes, which the differential
+	// churn tests pin.
+	FullSweepResolve bool
 }
 
 func (o *Options) applyDefaults() {
@@ -215,13 +266,61 @@ type DRCR struct {
 	admitted []policy.Contract
 	cpuLoad  []float64
 
+	// allNames is the sorted name list of every managed component,
+	// maintained incrementally on deploy/destroy so the reference full
+	// sweep never re-sorts. namesScratch / admittedScratch are the reused
+	// snapshot buffers its passes iterate (snapshots are required: event
+	// listeners run unlocked and may mutate the component set).
+	allNames        []string
+	namesScratch    []string
+	admittedScratch []string
+
+	// provIndex maps a port topic to its admitted providers (sorted by
+	// name, so provider choice matches the reference scan over the
+	// name-sorted admitted set). consIndex maps a topic to every managed
+	// component declaring an inport on it, admitted or not — the reverse
+	// dependency edges the worklist engine cascades along.
+	provIndex map[portKey][]portProv
+	consIndex map[portKey][]string
+
+	// viewEpoch counts admitted-set membership changes; viewSnap is the
+	// immutable snapshot shared by every consult at that epoch.
+	viewEpoch     uint64
+	viewSnap      policy.View
+	viewSnapEpoch uint64
+	viewSnapValid bool
+
+	// waiting tracks every Unsatisfied/Satisfied component. actPending /
+	// deactPending are the sorted dirty-component staging worklists,
+	// actRound / deactRound the reused buffers the phases sweep; the
+	// drain* fields remember the epochs the last drain synchronised
+	// against.
+	waiting         map[string]*Component
+	actPending      []string
+	actMember       map[string]bool
+	actRound        []string
+	deactPending    []string
+	deactMember     map[string]bool
+	deactRound      []string
+	drainID         uint64
+	drainViewEpoch  uint64
+	drainChainEpoch uint64
+
+	// Resolver-chain cache: rebuilt only when a drcom.ResolvingService
+	// registry event fires, instead of on every consult.
+	chainDirty atomic.Bool
+	chainEpoch atomic.Uint64
+	chainMu    sync.Mutex
+	chain      policy.Chain
+
 	events    []Event
 	listeners []func(Event)
 
-	removeBundleListener func()
-	resolving            bool
-	dirty                bool
-	closed               bool
+	removeBundleListener  func()
+	removeServiceListener func()
+	resolving             bool
+	dirty                 bool
+	closed                bool
 }
 
 // New attaches a DRCR to a framework and kernel. The DRCR immediately
@@ -232,13 +331,26 @@ func New(fw *osgi.Framework, kernel *rtos.Kernel, opts Options) (*DRCR, error) {
 	}
 	opts.applyDefaults()
 	d := &DRCR{
-		fw:        fw,
-		kernel:    kernel,
-		opts:      opts,
-		comps:     map[string]*Component{},
-		factories: map[string]BodyFactory{},
+		fw:          fw,
+		kernel:      kernel,
+		opts:        opts,
+		comps:       map[string]*Component{},
+		factories:   map[string]BodyFactory{},
+		provIndex:   map[portKey][]portProv{},
+		consIndex:   map[portKey][]string{},
+		waiting:     map[string]*Component{},
+		actMember:   map[string]bool{},
+		deactMember: map[string]bool{},
 	}
+	d.chainDirty.Store(true) // build the resolver chain on first consult
 	d.removeBundleListener = fw.AddBundleListener(osgi.BundleListenerFunc(d.bundleChanged))
+	// Resolver registrations/removals invalidate the cached chain. The
+	// listener only flips an atomic flag: it may fire while d.mu is held
+	// (the DRCR itself registers management services during activation).
+	resolverFilter := ldap.MustParse("(" + osgi.PropObjectClass + "=" + policy.ServiceInterface + ")")
+	d.removeServiceListener = fw.AddServiceListener(osgi.ServiceListenerFunc(func(osgi.ServiceEvent) {
+		d.chainDirty.Store(true)
+	}), resolverFilter)
 	return d, nil
 }
 
@@ -360,24 +472,35 @@ func (d *DRCR) Management(name string) (Management, bool) {
 
 // GlobalView assembles the admission view over currently admitted
 // (Active or Suspended) components — the DRCR's accurate global picture
-// of promised contracts.
+// of promised contracts. The returned snapshot is immutable and shared:
+// treat it as read-only (resolvers must anyway, per policy.Resolver).
 func (d *DRCR) GlobalView() policy.View {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.viewLocked()
 }
 
+// viewLocked returns the admission snapshot for the current view epoch.
+// The snapshot is rebuilt (fresh slices, never mutated in place) only
+// when the admitted membership changed since the last call, so a burst
+// of consults against an unchanged view shares one copy instead of
+// re-copying the contract list per candidate.
 func (d *DRCR) viewLocked() policy.View {
-	v := policy.View{NumCPUs: d.kernel.NumCPUs()}
-	if len(d.admitted) > 0 {
-		v.Admitted = make([]policy.Contract, len(d.admitted))
-		copy(v.Admitted, d.admitted)
+	if !d.viewSnapValid || d.viewSnapEpoch != d.viewEpoch {
+		v := policy.View{NumCPUs: d.kernel.NumCPUs(), Epoch: d.viewEpoch}
+		if len(d.admitted) > 0 {
+			v.Admitted = make([]policy.Contract, len(d.admitted))
+			copy(v.Admitted, d.admitted)
+		}
+		if len(d.cpuLoad) > 0 {
+			v.CPULoad = make([]float64, len(d.cpuLoad))
+			copy(v.CPULoad, d.cpuLoad)
+		}
+		d.viewSnap = v
+		d.viewSnapEpoch = d.viewEpoch
+		d.viewSnapValid = true
 	}
-	if len(d.cpuLoad) > 0 {
-		v.CPULoad = make([]float64, len(d.cpuLoad))
-		copy(v.CPULoad, d.cpuLoad)
-	}
-	return v
+	return d.viewSnap
 }
 
 // admittedSet reports whether a state counts into the admission view.
@@ -403,6 +526,55 @@ func (d *DRCR) noteTransitionLocked(c *Component, from, to State) {
 		d.admitted = append(d.admitted[:i], d.admitted[i+1:]...)
 	}
 	d.recomputeLoadLocked()
+	d.viewEpoch++
+	// Keep the provider index exactly the outports of the admitted set.
+	for _, out := range c.desc.OutPorts {
+		key := keyOf(out)
+		if is {
+			d.provIndex[key] = insertProv(d.provIndex[key], portProv{name: name, size: out.Size})
+		} else {
+			d.provIndex[key] = removeProv(d.provIndex[key], name)
+		}
+	}
+}
+
+func insertProv(ps []portProv, p portProv) []portProv {
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].name >= p.name })
+	if i < len(ps) && ps[i].name == p.name {
+		ps[i] = p
+		return ps
+	}
+	ps = append(ps, portProv{})
+	copy(ps[i+1:], ps[i:])
+	ps[i] = p
+	return ps
+}
+
+func removeProv(ps []portProv, name string) []portProv {
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].name >= name })
+	if i >= len(ps) || ps[i].name != name {
+		return ps
+	}
+	return append(ps[:i], ps[i+1:]...)
+}
+
+func insertName(ns []string, name string) []string {
+	i := sort.SearchStrings(ns, name)
+	if i < len(ns) && ns[i] == name {
+		return ns
+	}
+	ns = append(ns, "")
+	copy(ns[i+1:], ns[i:])
+	ns[i] = name
+	return ns
+}
+
+func removeName(ns []string, name string) []string {
+	i := sort.SearchStrings(ns, name)
+	if i >= len(ns) || ns[i] != name {
+		return ns
+	}
+	return append(ns[:i], ns[i+1:]...)
 }
 
 // recomputeLoadLocked refreshes the per-CPU budget accumulators from the
@@ -437,13 +609,12 @@ func contractOf(desc *descriptor.Component) policy.Contract {
 	return ct
 }
 
+// sortedNamesLocked snapshots the incrementally-maintained sorted name
+// list into a reused scratch buffer (safe against listener callbacks
+// mutating the component set while a sweep iterates it unlocked).
 func (d *DRCR) sortedNamesLocked() []string {
-	names := make([]string, 0, len(d.comps))
-	for n := range d.comps {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	d.namesScratch = append(d.namesScratch[:0], d.allNames...)
+	return d.namesScratch
 }
 
 // Close detaches the DRCR from framework events and destroys every
@@ -457,7 +628,23 @@ func (d *DRCR) Close() {
 	d.closed = true
 	d.mu.Unlock()
 	d.removeBundleListener()
-	for _, info := range d.Components() {
-		_ = d.Remove(info.Name)
+	d.removeServiceListener()
+	// Bulk teardown: every component is going away, so cascading through
+	// resolution after each removal (quadratic-to-cubic at container
+	// scale) would only recompute states that are about to be destroyed.
+	// Deactivate and destroy each record directly instead, in name order
+	// for a deterministic event trail.
+	d.mu.Lock()
+	for _, name := range d.sortedNamesLocked() {
+		c, ok := d.comps[name]
+		if !ok {
+			continue
+		}
+		if c.state == Active || c.state == Suspended {
+			d.deactivateLocked(c, "component removed")
+		}
+		d.setStateLocked(c, Destroyed, "component removed")
+		d.removeRecordLocked(c)
 	}
+	d.mu.Unlock()
 }

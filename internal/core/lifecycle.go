@@ -3,13 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/descriptor"
 	"repro/internal/hrc"
 	"repro/internal/ldap"
 	"repro/internal/osgi"
-	"repro/internal/policy"
 	"repro/internal/rtos"
 )
 
@@ -25,7 +25,7 @@ func (d *DRCR) Deploy(desc *descriptor.Component) error {
 	if err := d.addComponent(desc, nil); err != nil {
 		return err
 	}
-	d.Resolve()
+	d.resolveDelta()
 	return nil
 }
 
@@ -38,13 +38,17 @@ func (d *DRCR) Remove(name string) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
 	}
-	if c.state == Active || c.state == Suspended {
+	wasAdmitted := c.state == Active || c.state == Suspended
+	if wasAdmitted {
 		d.deactivateLocked(c, "component removed")
 	}
 	d.setStateLocked(c, Destroyed, "component removed")
-	delete(d.comps, name)
+	if wasAdmitted {
+		d.markProviderDownLocked(c)
+	}
+	d.removeRecordLocked(c)
 	d.mu.Unlock()
-	d.Resolve()
+	d.resolveDelta()
 	return nil
 }
 
@@ -58,9 +62,10 @@ func (d *DRCR) Enable(name string) error {
 	}
 	if c.state == Disabled {
 		d.setStateLocked(c, Unsatisfied, "enabled")
+		d.enqueueActLocked(name)
 	}
 	d.mu.Unlock()
-	d.Resolve()
+	d.resolveDelta()
 	return nil
 }
 
@@ -72,16 +77,21 @@ func (d *DRCR) Disable(name string) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
 	}
+	wasAdmitted := false
 	switch c.state {
 	case Disabled, Destroyed:
 		d.mu.Unlock()
 		return nil
 	case Active, Suspended:
+		wasAdmitted = true
 		d.deactivateLocked(c, "disabled")
 	}
 	d.setStateLocked(c, Disabled, "disabled")
+	if wasAdmitted {
+		d.markProviderDownLocked(c)
+	}
 	d.mu.Unlock()
-	d.Resolve()
+	d.resolveDelta()
 	return nil
 }
 
@@ -152,7 +162,7 @@ func (d *DRCR) adoptBundle(b *osgi.Bundle) {
 		}
 		_ = d.addComponent(desc, b) // duplicates are skipped
 	}
-	d.Resolve()
+	d.resolveDelta()
 }
 
 func (d *DRCR) dropBundle(b *osgi.Bundle) {
@@ -163,16 +173,44 @@ func (d *DRCR) dropBundle(b *osgi.Bundle) {
 			names = append(names, name)
 		}
 	}
+	// Withdraw in name order, matching the order the resolution sweeps use,
+	// so a multi-component bundle tears down deterministically.
+	sort.Strings(names)
 	for _, name := range names {
-		c := d.comps[name]
-		if c.state == Active || c.state == Suspended {
+		c, ok := d.comps[name]
+		if !ok {
+			continue // a listener callback removed it mid-loop
+		}
+		wasAdmitted := c.state == Active || c.state == Suspended
+		if wasAdmitted {
 			d.deactivateLocked(c, "bundle "+b.SymbolicName()+" stopped")
 		}
 		d.setStateLocked(c, Destroyed, "bundle "+b.SymbolicName()+" stopped")
-		delete(d.comps, name)
+		if wasAdmitted {
+			d.markProviderDownLocked(c)
+		}
+		d.removeRecordLocked(c)
 	}
 	d.mu.Unlock()
-	d.Resolve()
+	d.resolveDelta()
+}
+
+// removeRecordLocked forgets a destroyed component: its record, its slot
+// in the sorted name list, its reverse-dependency edges, and any waiting
+// entry. Stale worklist entries are skipped on pop.
+func (d *DRCR) removeRecordLocked(c *Component) {
+	name := c.desc.Name
+	delete(d.comps, name)
+	d.allNames = removeName(d.allNames, name)
+	for _, in := range c.desc.InPorts {
+		key := keyOf(in)
+		if ns := removeName(d.consIndex[key], name); len(ns) == 0 {
+			delete(d.consIndex, key)
+		} else {
+			d.consIndex[key] = ns
+		}
+	}
+	delete(d.waiting, name)
 }
 
 func (d *DRCR) addComponent(desc *descriptor.Component, b *osgi.Bundle) error {
@@ -200,171 +238,20 @@ func (d *DRCR) addComponent(desc *descriptor.Component, b *osgi.Bundle) error {
 		c.lastReason = "deployed disabled"
 	}
 	d.comps[desc.Name] = c
+	d.allNames = insertName(d.allNames, desc.Name)
+	for _, in := range desc.InPorts {
+		key := keyOf(in)
+		d.consIndex[key] = insertName(d.consIndex[key], desc.Name)
+	}
+	if c.state == Unsatisfied {
+		d.waiting[desc.Name] = c
+		d.enqueueActLocked(desc.Name)
+	}
 	d.emitLocked(Event{
 		At: d.kernel.Now(), Component: desc.Name,
 		From: 0, To: c.state, Reason: c.lastReason,
 	})
 	return nil
-}
-
-// Resolve runs constraint resolution to a fixed point: functional (port)
-// constraints first, then the internal resolving service and every
-// customized resolving service found in the registry (§4.3). Reentrant
-// calls — e.g. service events raised while activating — coalesce into an
-// extra pass.
-func (d *DRCR) Resolve() {
-	d.mu.Lock()
-	if d.resolving {
-		d.dirty = true
-		d.mu.Unlock()
-		return
-	}
-	d.resolving = true
-	d.mu.Unlock()
-	defer func() {
-		d.mu.Lock()
-		d.resolving = false
-		d.mu.Unlock()
-	}()
-	for pass := 0; pass < 1000; pass++ {
-		changed := d.resolveOnce()
-		d.mu.Lock()
-		dirty := d.dirty
-		d.dirty = false
-		d.mu.Unlock()
-		if !changed && !dirty {
-			return
-		}
-	}
-}
-
-// resolveOnce performs one deactivation sweep and one activation sweep.
-func (d *DRCR) resolveOnce() (changed bool) {
-	// Deactivation: an admitted component whose inports lost their
-	// providers must go down (the Display case when Calculation stops).
-	// The sweep walks a snapshot of the admitted set (sorted by name), as
-	// deactivations shrink it mid-loop.
-	d.mu.Lock()
-	admittedNames := make([]string, len(d.admitted))
-	for i, ct := range d.admitted {
-		admittedNames[i] = ct.Name
-	}
-	for _, name := range admittedNames {
-		c, ok := d.comps[name]
-		if !ok || (c.state != Active && c.state != Suspended) {
-			continue
-		}
-		if missing := d.unsatisfiedInportLocked(c); missing != "" {
-			d.deactivateLocked(c, "inport "+missing+" lost its provider")
-			d.setStateLocked(c, Unsatisfied, "inport "+missing+" lost its provider")
-			changed = true
-		}
-	}
-	names := d.sortedNamesLocked()
-	d.mu.Unlock()
-
-	// Activation: try to bring up everything whose functional constraints
-	// hold and that every resolving service admits.
-	for _, name := range names {
-		d.mu.Lock()
-		c, ok := d.comps[name]
-		if !ok || (c.state != Unsatisfied && c.state != Satisfied) {
-			d.mu.Unlock()
-			continue
-		}
-		if c.revoked {
-			// A revoked budget bars re-admission until RestoreBudget; the
-			// lifecycle stays where the revocation left it.
-			d.mu.Unlock()
-			continue
-		}
-		if missing := d.unsatisfiedInportLocked(c); missing != "" {
-			if c.state == Satisfied {
-				d.setStateLocked(c, Unsatisfied, "inport "+missing+" unsatisfied")
-				changed = true
-			} else {
-				c.lastReason = "inport " + missing + " unsatisfied"
-			}
-			d.mu.Unlock()
-			continue
-		}
-		if c.state == Unsatisfied {
-			d.setStateLocked(c, Satisfied, "functional constraints satisfied")
-			changed = true
-		}
-		view := d.viewLocked()
-		cand := contractOf(c.desc)
-		d.mu.Unlock()
-
-		// Consult resolving services outside the lock: customized
-		// resolvers live in the service registry and may call back.
-		decision := d.consultResolvers(view, cand)
-		d.mu.Lock()
-		c, ok = d.comps[name]
-		if !ok || c.state != Satisfied {
-			d.mu.Unlock()
-			continue
-		}
-		if !decision.Admit {
-			c.lastReason = "admission denied: " + decision.Reason
-			d.mu.Unlock()
-			continue
-		}
-		if err := d.activateLocked(c); err != nil {
-			c.lastReason = "activation failed: " + err.Error()
-			d.mu.Unlock()
-			continue
-		}
-		d.mu.Unlock()
-		changed = true
-	}
-	return changed
-}
-
-// consultResolvers chains the internal resolving service with every
-// customized resolving service registered under policy.ServiceInterface,
-// in ranking order.
-func (d *DRCR) consultResolvers(view policy.View, cand policy.Contract) policy.Decision {
-	chain := policy.Chain{d.opts.Internal}
-	for _, ref := range d.fw.ServiceReferences(policy.ServiceInterface, nil) {
-		if r, ok := d.fw.Service(ref).(policy.Resolver); ok {
-			chain = append(chain, r)
-		}
-	}
-	return chain.Admit(view, cand)
-}
-
-// unsatisfiedInportLocked returns the name of the first inport with no
-// compatible outport among admitted components, or "".
-func (d *DRCR) unsatisfiedInportLocked(c *Component) string {
-	for _, in := range c.desc.InPorts {
-		if d.findProviderLocked(c.desc.Name, in) == "" {
-			return in.Name
-		}
-	}
-	return ""
-}
-
-// findProviderLocked locates an admitted component whose outport can
-// satisfy the given inport. Only admitted components can provide, so the
-// walk covers the incremental admitted set (already sorted by name)
-// instead of re-sorting every component.
-func (d *DRCR) findProviderLocked(self string, in descriptor.Port) string {
-	for _, ct := range d.admitted {
-		if ct.Name == self {
-			continue
-		}
-		p, ok := d.comps[ct.Name]
-		if !ok {
-			continue
-		}
-		for _, out := range p.desc.OutPorts {
-			if out.CanSatisfy(in) {
-				return ct.Name
-			}
-		}
-	}
-	return ""
 }
 
 // activateLocked instantiates the component: IPC objects for its
@@ -531,6 +418,12 @@ func (d *DRCR) setStateLocked(c *Component, to State, reason string) {
 	// Keep the incremental admission view in sync before the event goes
 	// out: listeners may call back into the DRCR and must see it current.
 	d.noteTransitionLocked(c, from, to)
+	switch to {
+	case Unsatisfied, Satisfied:
+		d.waiting[c.desc.Name] = c
+	default:
+		delete(d.waiting, c.desc.Name)
+	}
 	d.emitLocked(Event{At: d.kernel.Now(), Component: c.desc.Name, From: from, To: to, Reason: reason})
 }
 

@@ -1,0 +1,416 @@
+package core
+
+// Incremental worklist-based constraint resolution.
+//
+// The paper's DRCR re-resolves functional and non-functional constraints
+// on every run-time change (§2.2, §4.3). The reference implementation in
+// fullsweep.go reproduces that literally: a fixed-point sweep over every
+// managed component per change, O(n²)–O(n³) under churn. This file is the
+// production engine: every lifecycle operation enqueues exactly the
+// components whose constraints could have changed, and resolution drains
+// that worklist, cascading along the reverse-dependency (port consumer)
+// edges kept in consIndex and answering port queries from the admitted
+// provider index instead of scanning the component set.
+//
+// The two engines must be observably identical — same final states, same
+// lifecycle events in the same order, same reasons — which the
+// differential churn tests pin. Three ordering rules make that hold:
+//
+//  1. deactivation rounds emulate the reference sweep's cursor: a
+//     consumer dirtied behind the cursor waits for the next round, one
+//     ahead of it joins the current round;
+//  2. activation candidates are processed in ascending name order, and
+//     every admitted-set or resolver-chain change re-arms the components
+//     waiting on admission, mirroring the reference fixed point;
+//  3. admission decisions are cached only while the drain, the view
+//     epoch and the resolver-chain epoch all stand still — customized
+//     resolving services may be stateful across Resolve calls (the fault
+//     injector's flap resolver is), so a full Resolve always re-consults.
+
+import (
+	"sort"
+
+	"repro/internal/descriptor"
+	"repro/internal/policy"
+)
+
+// Resolve runs constraint resolution. It re-examines every waiting
+// component (resolving services may have changed their answers since the
+// last run) and drains all pending dirty work to a fixed point.
+// Reentrant calls — e.g. service events raised while activating —
+// coalesce into an extra pass.
+func (d *DRCR) Resolve() { d.runResolve(true) }
+
+// resolveDelta drains only the dirty work the calling operation staged.
+func (d *DRCR) resolveDelta() { d.runResolve(false) }
+
+func (d *DRCR) runResolve(full bool) {
+	d.mu.Lock()
+	if full && !d.opts.FullSweepResolve {
+		d.markAllWaitingLocked()
+	}
+	if d.resolving {
+		d.dirty = true
+		d.mu.Unlock()
+		return
+	}
+	d.resolving = true
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.resolving = false
+		d.mu.Unlock()
+	}()
+	for pass := 0; pass < 1000; pass++ {
+		var changed bool
+		if d.opts.FullSweepResolve {
+			changed = d.resolveOnce()
+		} else {
+			changed = d.drainWorklist()
+		}
+		d.mu.Lock()
+		dirty := d.dirty
+		d.dirty = false
+		d.mu.Unlock()
+		if !changed && !dirty {
+			return
+		}
+	}
+}
+
+// markAllWaitingLocked arms every waiting component for re-examination —
+// the full-Resolve contract external callers (and stateful customized
+// resolvers) rely on.
+func (d *DRCR) markAllWaitingLocked() {
+	for name := range d.waiting {
+		d.enqueueActLocked(name)
+	}
+}
+
+// drainWorklist empties both worklists. Each iteration mirrors one
+// reference pass — a deactivation round, then an activation round — so
+// work a round stages behind its cursor lands in the next iteration, in
+// the exact position the reference fixed point would give it.
+func (d *DRCR) drainWorklist() bool {
+	d.refreshChain() // outside d.mu: resolvers live in the registry
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drainID++ // invalidates admission decisions cached by earlier drains
+	changed := false
+	for {
+		if d.deactRoundLocked() {
+			changed = true
+		}
+		d.syncWaitersLocked() // deactivations free budget for admission waiters
+		if d.actRoundLocked() {
+			changed = true
+		}
+		d.syncWaitersLocked() // activations move the view; re-arm for next pass
+		if len(d.deactPending) == 0 && len(d.actPending) == 0 {
+			return changed
+		}
+	}
+}
+
+// deactRoundLocked processes one round of the deactivation worklist,
+// emulating the reference sweep's cursor: the staged names run in
+// ascending order; cascading to a consumer ahead of the cursor joins the
+// current round, behind it waits for the next.
+func (d *DRCR) deactRoundLocked() bool {
+	if len(d.deactPending) == 0 {
+		return false
+	}
+	changed := false
+	d.deactRound = append(d.deactRound[:0], d.deactPending...)
+	d.deactPending = d.deactPending[:0]
+	for k := range d.deactMember {
+		delete(d.deactMember, k)
+	}
+	for i := 0; i < len(d.deactRound); i++ {
+		name := d.deactRound[i]
+		c, ok := d.comps[name]
+		if !ok {
+			continue
+		}
+		if c.state != Active && c.state != Suspended {
+			// Not admitted: the activation round owns its re-check
+			// (including a Satisfied→Unsatisfied demotion).
+			if c.state == Unsatisfied || c.state == Satisfied {
+				d.enqueueActLocked(name)
+			}
+			continue
+		}
+		missing := d.unsatisfiedInportLocked(c)
+		if missing == "" {
+			continue
+		}
+		reason := "inport " + missing + " lost its provider"
+		d.deactivateLocked(c, reason)
+		d.setStateLocked(c, Unsatisfied, reason)
+		changed = true
+		d.enqueueActLocked(name)
+		for _, out := range c.desc.OutPorts {
+			for _, cn := range d.consIndex[keyOf(out)] {
+				if cn == name {
+					continue
+				}
+				if cn > name {
+					d.deactRound = insertRound(d.deactRound, i, cn)
+				} else {
+					d.enqueueDeactLocked(cn)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// insertRound inserts name into the sorted tail round[i+1:] (dedup'd).
+func insertRound(round []string, i int, name string) []string {
+	tail := round[i+1:]
+	j := sort.SearchStrings(tail, name)
+	if j < len(tail) && tail[j] == name {
+		return round
+	}
+	pos := i + 1 + j
+	round = append(round, "")
+	copy(round[pos+1:], round[pos:])
+	round[pos] = name
+	return round
+}
+
+// actRoundLocked processes one round of the activation worklist. Like
+// the deactivation round, a cursor emulates the reference sweep: a
+// consumer whose provider activates behind it waits for the next round
+// (the reference catches it on its next pass), one ahead of the cursor
+// joins the current round. Resolving services are consulted outside the
+// lock, exactly like the reference engine, and the component is
+// re-validated afterwards.
+func (d *DRCR) actRoundLocked() bool {
+	if len(d.actPending) == 0 {
+		return false
+	}
+	changed := false
+	d.actRound = append(d.actRound[:0], d.actPending...)
+	d.actPending = d.actPending[:0]
+	for k := range d.actMember {
+		delete(d.actMember, k)
+	}
+	for i := 0; i < len(d.actRound); i++ {
+		if d.tryActivateLocked(i) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// tryActivateLocked examines actRound[i]: functional constraints first,
+// then admission, then activation, cascading to the new provider's
+// waiting consumers on success. Reports whether anything changed.
+func (d *DRCR) tryActivateLocked(i int) bool {
+	name := d.actRound[i]
+	c, ok := d.comps[name]
+	if !ok || (c.state != Unsatisfied && c.state != Satisfied) {
+		return false
+	}
+	if c.revoked {
+		// A revoked budget bars re-admission until RestoreBudget; the
+		// lifecycle stays where the revocation left it.
+		return false
+	}
+	changed := false
+	if missing := d.unsatisfiedInportLocked(c); missing != "" {
+		c.wait = waitPorts
+		if c.state == Satisfied {
+			d.setStateLocked(c, Unsatisfied, "inport "+missing+" unsatisfied")
+			return true
+		}
+		c.lastReason = "inport " + missing + " unsatisfied"
+		return false
+	}
+	if c.state == Unsatisfied {
+		d.setStateLocked(c, Satisfied, "functional constraints satisfied")
+		changed = true
+	}
+	view := d.viewLocked()
+	cand := contractOf(c.desc)
+	chainEpoch := d.chainEpoch.Load()
+	var decision policy.Decision
+	if c.cacheValid && c.cacheDrain == d.drainID &&
+		c.cacheViewEpoch == d.viewEpoch && c.cacheChainEpoch == chainEpoch &&
+		!d.chainDirty.Load() {
+		decision = c.cachedDecision
+	} else {
+		viewEpoch, drainID := d.viewEpoch, d.drainID
+		d.mu.Unlock()
+		decision = d.consultResolvers(view, cand)
+		ce := d.chainEpoch.Load()
+		d.mu.Lock()
+		c2, ok := d.comps[name]
+		if !ok || c2.state != Satisfied {
+			return changed
+		}
+		c = c2
+		c.cacheValid = true
+		c.cacheDrain = drainID
+		c.cacheViewEpoch = viewEpoch
+		c.cacheChainEpoch = ce
+		c.cachedDecision = decision
+	}
+	if !decision.Admit {
+		c.lastReason = "admission denied: " + decision.Reason
+		c.wait = waitAdmission
+		return changed
+	}
+	if err := d.activateLocked(c); err != nil {
+		c.lastReason = "activation failed: " + err.Error()
+		c.wait = waitAdmission
+		return changed
+	}
+	c.wait = waitNone
+	c.cacheValid = false
+	// Cascade to the new provider's waiting consumers: ahead of the
+	// cursor they join this round, behind it the next.
+	for _, out := range c.desc.OutPorts {
+		for _, cn := range d.consIndex[keyOf(out)] {
+			if cn == name {
+				continue
+			}
+			p, ok := d.comps[cn]
+			if !ok || (p.state != Unsatisfied && p.state != Satisfied) {
+				continue
+			}
+			if cn > name {
+				d.actRound = insertRound(d.actRound, i, cn)
+			} else {
+				d.enqueueActLocked(cn)
+			}
+		}
+	}
+	return true
+}
+
+// syncWaitersLocked re-arms every admission waiter when the admitted set
+// or the resolver chain changed since the last synchronisation — the
+// worklist equivalent of the reference engine running another full pass
+// after any change.
+func (d *DRCR) syncWaitersLocked() {
+	ce := d.chainEpoch.Load()
+	if d.drainViewEpoch == d.viewEpoch && d.drainChainEpoch == ce {
+		return
+	}
+	d.drainViewEpoch, d.drainChainEpoch = d.viewEpoch, ce
+	for name, c := range d.waiting {
+		if c.wait == waitAdmission {
+			d.enqueueActLocked(name)
+		}
+	}
+}
+
+// markProviderDownLocked stages every consumer of a departed provider's
+// outport topics for a satisfaction re-check.
+func (d *DRCR) markProviderDownLocked(c *Component) {
+	if d.opts.FullSweepResolve {
+		return
+	}
+	for _, out := range c.desc.OutPorts {
+		for _, cn := range d.consIndex[keyOf(out)] {
+			if cn != c.desc.Name {
+				d.enqueueDeactLocked(cn)
+			}
+		}
+	}
+}
+
+// enqueueActLocked stages a component for the activation phase's next
+// round; the staging list stays sorted so rounds run in name order.
+func (d *DRCR) enqueueActLocked(name string) {
+	if d.opts.FullSweepResolve || d.actMember[name] {
+		return
+	}
+	d.actMember[name] = true
+	i := sort.SearchStrings(d.actPending, name)
+	d.actPending = append(d.actPending, "")
+	copy(d.actPending[i+1:], d.actPending[i:])
+	d.actPending[i] = name
+}
+
+func (d *DRCR) enqueueDeactLocked(name string) {
+	if d.opts.FullSweepResolve || d.deactMember[name] {
+		return
+	}
+	d.deactMember[name] = true
+	i := sort.SearchStrings(d.deactPending, name)
+	d.deactPending = append(d.deactPending, "")
+	copy(d.deactPending[i+1:], d.deactPending[i:])
+	d.deactPending[i] = name
+}
+
+// refreshChain rebuilds the cached resolver chain if a resolving-service
+// registry event invalidated it. Called without d.mu held: customized
+// resolvers live in the service registry and fetching them may call back.
+func (d *DRCR) refreshChain() {
+	if !d.chainDirty.Swap(false) {
+		return
+	}
+	chain := policy.Chain{d.opts.Internal}
+	for _, ref := range d.fw.ServiceReferences(policy.ServiceInterface, nil) {
+		if r, ok := d.fw.Service(ref).(policy.Resolver); ok {
+			chain = append(chain, r)
+		}
+	}
+	d.chainMu.Lock()
+	d.chain = chain
+	d.chainMu.Unlock()
+	d.chainEpoch.Add(1)
+}
+
+// consultResolvers chains the internal resolving service with every
+// customized resolving service (§4.3), using the event-invalidated cache
+// instead of re-querying the registry per candidate.
+func (d *DRCR) consultResolvers(view policy.View, cand policy.Contract) policy.Decision {
+	d.refreshChain()
+	d.chainMu.Lock()
+	chain := d.chain
+	d.chainMu.Unlock()
+	return chain.Admit(view, cand)
+}
+
+// unsatisfiedInportLocked returns the name of the first inport with no
+// compatible outport among admitted components, or "".
+func (d *DRCR) unsatisfiedInportLocked(c *Component) string {
+	if d.opts.FullSweepResolve {
+		return d.unsatisfiedInportScanLocked(c)
+	}
+	for _, in := range c.desc.InPorts {
+		if d.findProviderIndexLocked(c.desc.Name, in) == "" {
+			return in.Name
+		}
+	}
+	return ""
+}
+
+// findProviderLocked locates an admitted component whose outport can
+// satisfy the given inport.
+func (d *DRCR) findProviderLocked(self string, in descriptor.Port) string {
+	if d.opts.FullSweepResolve {
+		return d.findProviderScanLocked(self, in)
+	}
+	return d.findProviderIndexLocked(self, in)
+}
+
+// findProviderIndexLocked answers the provider query from the admitted
+// provider index: a map lookup plus a walk of the (tiny, name-sorted)
+// provider list for that topic, so the choice matches the reference scan
+// over the name-sorted admitted set.
+func (d *DRCR) findProviderIndexLocked(self string, in descriptor.Port) string {
+	if in.Direction != descriptor.In {
+		return ""
+	}
+	for _, p := range d.provIndex[keyOf(in)] {
+		if p.name != self && p.size >= in.Size {
+			return p.name
+		}
+	}
+	return ""
+}

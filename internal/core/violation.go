@@ -30,11 +30,12 @@ func (d *DRCR) RevokeBudget(name, reason string) error {
 	if c.state == Active || c.state == Suspended {
 		d.deactivateLocked(c, why)
 		d.setStateLocked(c, Unsatisfied, why)
+		d.markProviderDownLocked(c)
 	}
 	c.revoked = true
 	c.lastReason = why
 	d.mu.Unlock()
-	d.Resolve()
+	d.resolveDelta()
 	return nil
 }
 
@@ -54,7 +55,8 @@ func (d *DRCR) RestoreBudget(name string) error {
 	}
 	c.revoked = false
 	c.lastReason = "budget restored"
+	d.enqueueActLocked(name)
 	d.mu.Unlock()
-	d.Resolve()
+	d.resolveDelta()
 	return nil
 }

@@ -49,6 +49,10 @@ func (c Contract) Cost() time.Duration {
 type View struct {
 	NumCPUs  int
 	Admitted []Contract
+	// Epoch counts admitted-set membership changes at the view's producer.
+	// Two views with equal epochs from the same producer describe the same
+	// admitted set, so consumers may reuse decisions derived from one.
+	Epoch uint64
 	// CPULoad, when non-nil, is the summed declared budget per processor
 	// over Admitted, maintained incrementally by the view's producer so
 	// resolvers need not rescan the contract list. Producers that do not

@@ -1,0 +1,48 @@
+package workload
+
+import "testing"
+
+// The storm must replay bit-identically on both resolve engines: same
+// event trace, same final state. This is the workload-level counterpart
+// of core's differential test, exercising the bundle-delivery path too.
+func TestChurnEnginesAgree(t *testing.T) {
+	spec := ChurnSpec{Components: 40, Steps: 120, Seed: 7}
+	spec.FullSweep = false
+	inc, err := RunChurn(spec)
+	if err != nil {
+		t.Fatalf("worklist churn: %v", err)
+	}
+	spec.FullSweep = true
+	ref, err := RunChurn(spec)
+	if err != nil {
+		t.Fatalf("full-sweep churn: %v", err)
+	}
+	if inc.TraceDigest != ref.TraceDigest {
+		t.Errorf("trace digests diverge: worklist %s vs full-sweep %s (events %d vs %d)",
+			inc.TraceDigest, ref.TraceDigest, inc.Events, ref.Events)
+	}
+	if inc.StateDigest != ref.StateDigest {
+		t.Errorf("state digests diverge: worklist %s vs full-sweep %s",
+			inc.StateDigest, ref.StateDigest)
+	}
+	if inc.Components != ref.Components || inc.Components == 0 {
+		t.Errorf("component counts: worklist %d, full-sweep %d", inc.Components, ref.Components)
+	}
+}
+
+// Same spec twice must give the same digests — the bench relies on the
+// storm being a pure function of the seed.
+func TestChurnDeterministic(t *testing.T) {
+	spec := ChurnSpec{Components: 30, Steps: 80, Seed: 3}
+	a, err := RunChurn(spec)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunChurn(spec)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.TraceDigest != b.TraceDigest || a.StateDigest != b.StateDigest {
+		t.Errorf("non-deterministic storm: %+v vs %+v", a, b)
+	}
+}
