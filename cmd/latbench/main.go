@@ -9,11 +9,13 @@
 //	latbench [-samples N] [-seed S] [-workers W] [-table1] [-hist]
 //	         [-ablations] [-faults] [-benchjson FILE]
 //	         [-churn] [-churnjson FILE] [-churnsizes N,N,...] [-churnsteps N]
+//	         [-obs] [-obsjson FILE] [-obssim N]
 //	         [-all]
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +46,9 @@ func main() {
 		churnjson  = flag.String("churnjson", "", "write the resolve-churn JSON report to this file (implies -churn)")
 		churnsizes = flag.String("churnsizes", "100,1000,5000", "comma-separated component-population sizes for -churn")
 		churnsteps = flag.Int("churnsteps", 0, "storm steps per churn size (0 = auto-scale per size)")
+		obsRun     = flag.Bool("obs", false, "run the observability-overhead benchmark (per sampling level)")
+		obsjson    = flag.String("obsjson", "", "write the observability JSON report to this file (implies -obs)")
+		obssim     = flag.Int("obssim", 0, "simulated seconds per obs hot-path run (0 = default 5)")
 		all        = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
@@ -51,11 +56,14 @@ func main() {
 	if *churnjson != "" {
 		*churn = true
 	}
+	if *obsjson != "" {
+		*obsRun = true
+	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults, *churn = true, true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun = true, true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -67,6 +75,9 @@ func main() {
 	}
 	if *churn {
 		runChurn(*churnjson, *churnsizes, *churnsteps, *seed)
+	}
+	if *obsRun {
+		runObsJSON(*obsjson, *obssim, *seed)
 	}
 	if *hist {
 		runHistograms(*samples, *seed)
@@ -213,6 +224,43 @@ func runChurn(path, sizesCSV string, steps int, seed uint64) {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+}
+
+// runObsJSON measures the observability overhead per sampling level and
+// pins the seeded campaign span digest. With a path it writes the
+// machine-readable BENCH_obs.json, then reads it back and validates it —
+// the CI smoke depends on the written file being well-formed.
+func runObsJSON(path string, simSeconds int, seed uint64) {
+	rep, err := bench.MeasureObs(bench.ObsConfig{SimSeconds: simSeconds, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatObs(rep))
+	if err := rep.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if path == "" {
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var round bench.ObsReport
+	if err := json.Unmarshal(written, &round); err != nil {
+		log.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if err := round.Validate(); err != nil {
+		log.Fatalf("%s failed validation after round trip: %v", path, err)
+	}
+	fmt.Printf("wrote %s (validated)\n", path)
 }
 
 // runFaults renders Ablation E: the standard fault campaign with the

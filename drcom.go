@@ -24,6 +24,7 @@ import (
 	"repro/internal/descriptor"
 	"repro/internal/ldap"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/osgi"
 	"repro/internal/policy"
 	"repro/internal/rtos"
@@ -52,6 +53,13 @@ type (
 	Decision = policy.Decision
 	// Time is a point in simulated time.
 	Time = sim.Time
+	// Observer is the read-only observability view: live spans, causal
+	// chains, metric snapshots, trace digests.
+	Observer = obs.Observer
+	// Span is one traced DRCR decision.
+	Span = obs.Span
+	// MetricsSnapshot is the stable-ordered metrics export.
+	MetricsSnapshot = obs.Snapshot
 
 	// Built-in resolving services, re-exported for convenience.
 	Utilization = policy.Utilization
@@ -267,6 +275,11 @@ func (s *System) Remove(name string) error { return s.drcr.Remove(name) }
 
 // GlobalView returns the DRCR's admission view of promised contracts.
 func (s *System) GlobalView() View { return s.drcr.GlobalView() }
+
+// Observer returns the read-only management view of the observability
+// plane: live spans, per-component causal chains (`why`), and metric
+// snapshots over every subsystem.
+func (s *System) Observer() Observer { return s.drcr.Observer() }
 
 // Events returns the lifecycle event log.
 func (s *System) Events() []Event { return s.drcr.Events() }

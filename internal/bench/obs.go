@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rtos"
+	"repro/internal/workload"
+)
+
+// Observability-overhead benchmark: the same reference workloads the
+// committed baselines use — the 1 kHz kernel hot path and a resolve-churn
+// storm — run once per sampling level, so the committed BENCH_obs.json
+// quantifies what tracing costs at off, sampled (the default), and full
+// (scheduler bridge attached). The fault campaign rides along to pin the
+// seeded span digest the report is validated against.
+
+// ObsConfig sizes MeasureObs. The zero value selects the reference
+// configuration the committed BENCH_obs.json baseline uses.
+type ObsConfig struct {
+	// SimSeconds of virtual time per kernel hot-path run (default 5).
+	SimSeconds int
+	// ChurnComponents / ChurnSteps size the per-level storm
+	// (default 200 / 400).
+	ChurnComponents int
+	ChurnSteps      int
+	// Seed drives everything (default 1).
+	Seed uint64
+}
+
+func (c *ObsConfig) applyDefaults() {
+	if c.SimSeconds <= 0 {
+		c.SimSeconds = 5
+	}
+	if c.ChurnComponents <= 0 {
+		c.ChurnComponents = 200
+	}
+	if c.ChurnSteps <= 0 {
+		c.ChurnSteps = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ObsLevelPerf measures one sampling level against both workloads.
+type ObsLevelPerf struct {
+	Level string `json:"level"`
+	// Kernel is the 1 kHz hot-path measurement with a plane bound at this
+	// level; at full the scheduler bridge is live on every dispatch.
+	Kernel KernelPerf `json:"kernel"`
+	// SchedSpans counts bridged scheduler events (zero below full).
+	SchedSpans uint64 `json:"sched_spans"`
+	// Churn timings for the seeded storm at this level.
+	ChurnWallNS int64  `json:"churn_wall_ns"`
+	ChurnSpans  uint64 `json:"churn_spans"`
+	// ChurnObsDigest is the engine-comparable stream digest; it must be
+	// identical across levels (round/sched internals never enter it).
+	ChurnObsDigest string `json:"churn_obs_digest"`
+}
+
+// ObsCampaignPin is the seeded fault campaign's span-trace fingerprint.
+type ObsCampaignPin struct {
+	// SpanDigest is the full causal digest (IDs and cause edges included)
+	// at the default level; Repeatable confirms a second run agreed.
+	SpanDigest string `json:"span_digest"`
+	SpanCount  uint64 `json:"span_count"`
+	Repeatable bool   `json:"repeatable"`
+}
+
+// ObsReport is the machine-readable snapshot cmd/latbench writes to
+// BENCH_obs.json, committed alongside the sim and resolve baselines.
+type ObsReport struct {
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	SimSeconds int            `json:"sim_seconds"`
+	Seed       uint64         `json:"seed"`
+	Levels     []ObsLevelPerf `json:"levels"`
+	Campaign   ObsCampaignPin `json:"campaign"`
+}
+
+// MeasureObs runs the reference workloads at every sampling level and
+// pins the campaign span digest.
+func MeasureObs(cfg ObsConfig) (ObsReport, error) {
+	cfg.applyDefaults()
+	rep := ObsReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		SimSeconds: cfg.SimSeconds,
+		Seed:       cfg.Seed,
+	}
+	for _, level := range []obs.Level{obs.Off, obs.Sampled, obs.Full} {
+		lp, err := measureObsLevel(level, cfg)
+		if err != nil {
+			return ObsReport{}, fmt.Errorf("bench: obs level %s: %w", level, err)
+		}
+		rep.Levels = append(rep.Levels, lp)
+	}
+
+	first, err := workload.RunFaultCampaign(workload.FaultCampaignConfig{Seed: cfg.Seed, Guarded: true})
+	if err != nil {
+		return ObsReport{}, fmt.Errorf("bench: obs campaign: %w", err)
+	}
+	second, err := workload.RunFaultCampaign(workload.FaultCampaignConfig{Seed: cfg.Seed, Guarded: true})
+	if err != nil {
+		return ObsReport{}, fmt.Errorf("bench: obs campaign repeat: %w", err)
+	}
+	rep.Campaign = ObsCampaignPin{
+		SpanDigest: first.SpanDigest,
+		SpanCount:  first.SpanCount,
+		Repeatable: first.SpanDigest == second.SpanDigest,
+	}
+	return rep, nil
+}
+
+// measureObsLevel reruns the measureKernel workload with a plane bound at
+// the given level, then the churn storm at the same level.
+func measureObsLevel(level obs.Level, cfg ObsConfig) (ObsLevelPerf, error) {
+	lp := ObsLevelPerf{Level: level.String()}
+
+	k := rtos.NewKernel(rtos.Config{Seed: cfg.Seed})
+	plane := obs.NewPlane(obs.Options{Level: level})
+	plane.BindKernel(k)
+	task, err := k.CreateTask(rtos.TaskSpec{
+		Name: "tick", Type: rtos.Periodic, Period: time.Millisecond,
+		ExecTime: 30 * time.Microsecond,
+	})
+	if err != nil {
+		return ObsLevelPerf{}, err
+	}
+	if err := task.Start(); err != nil {
+		return ObsLevelPerf{}, err
+	}
+	if err := k.Run(time.Second); err != nil { // warm-up: pools fill here
+		return ObsLevelPerf{}, err
+	}
+	startEvents := k.Clock().Fired()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	wallStart := time.Now()
+	if err := k.Run(time.Duration(cfg.SimSeconds) * time.Second); err != nil {
+		return ObsLevelPerf{}, err
+	}
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&after)
+	events := k.Clock().Fired() - startEvents
+	lp.Kernel = KernelPerf{
+		SimSeconds: float64(cfg.SimSeconds),
+		Events:     events,
+		WallNS:     wall.Nanoseconds(),
+	}
+	if events > 0 {
+		lp.Kernel.EventsPerSec = float64(events) / wall.Seconds()
+		lp.Kernel.NSPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		lp.Kernel.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		lp.Kernel.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	lp.SchedSpans = plane.Snapshot().Sched.Events
+
+	stats, err := workload.RunChurn(workload.ChurnSpec{
+		Components: cfg.ChurnComponents, Steps: cfg.ChurnSteps,
+		Seed: int64(cfg.Seed), ObsLevel: level,
+	})
+	if err != nil {
+		return ObsLevelPerf{}, err
+	}
+	lp.ChurnWallNS = stats.StormWall.Nanoseconds()
+	lp.ChurnSpans = stats.Spans
+	lp.ChurnObsDigest = stats.ObsDigest
+	return lp, nil
+}
+
+// Validate checks the structural invariants a fresh or committed report
+// must satisfy; cmd/latbench runs it after writing BENCH_obs.json, and
+// the CI smoke runs it against the file latbench produced.
+func (r ObsReport) Validate() error {
+	if len(r.Levels) != 3 {
+		return fmt.Errorf("obs report: %d levels, want 3 (off/sampled/full)", len(r.Levels))
+	}
+	byLevel := map[string]ObsLevelPerf{}
+	for _, lp := range r.Levels {
+		if lp.Kernel.Events == 0 {
+			return fmt.Errorf("obs report: level %s measured no kernel events", lp.Level)
+		}
+		byLevel[lp.Level] = lp
+	}
+	for _, name := range []string{"off", "sampled", "full"} {
+		if _, ok := byLevel[name]; !ok {
+			return fmt.Errorf("obs report: level %q missing", name)
+		}
+	}
+	if byLevel["full"].SchedSpans == 0 {
+		return errors.New("obs report: full level bridged no scheduler events")
+	}
+	if byLevel["off"].SchedSpans != 0 || byLevel["sampled"].SchedSpans != 0 {
+		return errors.New("obs report: scheduler bridge leaked below full level")
+	}
+	if byLevel["off"].ChurnSpans != 0 {
+		return errors.New("obs report: off level emitted churn spans")
+	}
+	if byLevel["sampled"].ChurnSpans == 0 || byLevel["full"].ChurnSpans <= byLevel["sampled"].ChurnSpans {
+		return fmt.Errorf("obs report: churn span counts out of order: sampled %d, full %d",
+			byLevel["sampled"].ChurnSpans, byLevel["full"].ChurnSpans)
+	}
+	if byLevel["sampled"].ChurnObsDigest != byLevel["full"].ChurnObsDigest {
+		return errors.New("obs report: stream digest differs between sampled and full")
+	}
+	if len(r.Campaign.SpanDigest) != 64 || r.Campaign.SpanCount == 0 {
+		return fmt.Errorf("obs report: campaign pin incomplete: %+v", r.Campaign)
+	}
+	if !r.Campaign.Repeatable {
+		return errors.New("obs report: campaign span digest not repeatable across runs")
+	}
+	return nil
+}
+
+// Encode renders the report the way the committed BENCH_obs.json is
+// stored: two-space indentation, trailing newline, human-diffable.
+func (r ObsReport) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatObs renders the report for terminal output alongside the JSON.
+func FormatObs(r ObsReport) string {
+	var b strings.Builder
+	b.WriteString("Observability overhead — kernel hot path and resolve churn per level\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %11s %12s %11s\n",
+		"level", "ns/event", "allocs/ev", "sched", "churn ms", "spans")
+	for _, lp := range r.Levels {
+		fmt.Fprintf(&b, "%8s %12.1f %12.4f %11d %12.2f %11d\n",
+			lp.Level, lp.Kernel.NSPerEvent, lp.Kernel.AllocsPerEvent,
+			lp.SchedSpans, float64(lp.ChurnWallNS)/1e6, lp.ChurnSpans)
+	}
+	fmt.Fprintf(&b, "campaign span digest %s (%d spans, repeatable=%v)\n",
+		r.Campaign.SpanDigest, r.Campaign.SpanCount, r.Campaign.Repeatable)
+	return b.String()
+}

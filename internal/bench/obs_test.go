@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMeasureObsSmall(t *testing.T) {
+	rep, err := MeasureObs(ObsConfig{SimSeconds: 1, ChurnComponents: 40, ChurnSteps: 60})
+	if err != nil {
+		t.Fatalf("MeasureObs: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("Validate after round-trip: %v", err)
+	}
+	if FormatObs(rep) == "" {
+		t.Error("FormatObs returned empty string")
+	}
+}
+
+func TestObsReportValidateRejectsBroken(t *testing.T) {
+	rep, err := MeasureObs(ObsConfig{SimSeconds: 1, ChurnComponents: 40, ChurnSteps: 60})
+	if err != nil {
+		t.Fatalf("MeasureObs: %v", err)
+	}
+	broken := rep
+	broken.Levels = rep.Levels[:2]
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a report with a missing level")
+	}
+	broken = rep
+	broken.Campaign.Repeatable = false
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a non-repeatable campaign digest")
+	}
+	broken = rep
+	broken.Campaign.SpanDigest = "short"
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a malformed span digest")
+	}
+}

@@ -11,12 +11,14 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	drcom "repro"
 	"repro/internal/bench"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rtos"
 )
 
@@ -77,6 +79,14 @@ func (c *Console) Exec(line string) (quit bool) {
 		c.list()
 	case "events":
 		c.events()
+	case "spans":
+		err = c.spans(args)
+	case "why":
+		err = c.why(args)
+	case "metrics":
+		c.metrics()
+	case "watch":
+		err = c.watch(args)
 	case "timeline":
 		fmt.Fprint(c.out, bench.Timeline(c.sys.Events()))
 	case "latency":
@@ -107,7 +117,11 @@ func (c *Console) printHelp() {
   run <duration>          advance simulated time (e.g. run 500ms)
   mode light|stress       switch the load regime
   list                    component table (alias: lb, ss)
-  events                  lifecycle event log
+  events                  unified decision timeline (with why column)
+  spans [n]               last n observability spans (default 20)
+  why <component>         causal chain behind a component's latest span
+  metrics                 observability metrics snapshot
+  watch <duration>        run + print the spans the interval produced
   timeline                per-component state strips
   latency                 per-task scheduling latency rows
   view                    admission view (budgets per CPU)
@@ -203,10 +217,117 @@ func (c *Console) list() {
 	fmt.Fprintf(c.out, "%d components\n", len(infos))
 }
 
+// events prints the unified decision timeline: every retained span from
+// the observability plane — lifecycle transitions, admission denials,
+// contract violations, budget revoke/restore, quarantines, faults — with
+// a why column naming the causing span when one is recorded.
 func (c *Console) events() {
-	for _, ev := range c.sys.Events() {
-		fmt.Fprintf(c.out, "%s\n", ev)
+	o := c.sys.Observer()
+	for _, s := range o.Spans() {
+		if s.Kind == obs.KindSched || s.Kind == obs.KindResolveRound {
+			continue // scheduler noise; use trace/gantt for that
+		}
+		fmt.Fprintf(c.out, "%s%s\n", s, c.whyColumn(o, s))
 	}
+}
+
+// whyColumn renders the cause of a span, if it is still retained.
+func (c *Console) whyColumn(o drcom.Observer, s drcom.Span) string {
+	if s.Cause == 0 {
+		return ""
+	}
+	cs, ok := o.Span(s.Cause)
+	if !ok {
+		return ""
+	}
+	why := "  why: " + cs.Kind.String()
+	if cs.Component != "" {
+		why += " " + cs.Component
+	}
+	if cs.To != "" {
+		why += " " + cs.To
+	}
+	return why
+}
+
+// spans prints the most recent n retained spans, all kinds included.
+func (c *Console) spans(args []string) error {
+	n := 20
+	switch len(args) {
+	case 0:
+	case 1:
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("usage: spans [n]")
+		}
+		n = v
+	default:
+		return fmt.Errorf("usage: spans [n]")
+	}
+	o := c.sys.Observer()
+	all := o.Spans()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	for _, s := range all {
+		fmt.Fprintf(c.out, "%s\n", s)
+	}
+	fmt.Fprintf(c.out, "%d spans shown, %d emitted\n", len(all), uint64(o.NextID())-1)
+	return nil
+}
+
+// why prints the causal chain ending at a component's latest span,
+// consequence first.
+func (c *Console) why(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: why <component>")
+	}
+	chain := c.sys.Observer().Why(args[0])
+	if len(chain) == 0 {
+		return fmt.Errorf("no spans recorded for %q", args[0])
+	}
+	fmt.Fprintf(c.out, "%s\n", chain[0])
+	for _, s := range chain[1:] {
+		fmt.Fprintf(c.out, "  <- %s\n", s)
+	}
+	return nil
+}
+
+// metrics prints the observability snapshot.
+func (c *Console) metrics() {
+	fmt.Fprint(c.out, c.sys.Observer().Snapshot().Format())
+}
+
+// watch advances simulated time and prints every span the interval
+// produced (scheduler bridge spans summarised, not listed).
+func (c *Console) watch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: watch <duration>")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil {
+		return err
+	}
+	o := c.sys.Observer()
+	from := o.NextID()
+	if err := c.sys.Run(d); err != nil {
+		return err
+	}
+	fresh := o.SpansSince(from)
+	sched := 0
+	for _, s := range fresh {
+		if s.Kind == obs.KindSched {
+			sched++
+			continue
+		}
+		fmt.Fprintf(c.out, "%s%s\n", s, c.whyColumn(o, s))
+	}
+	fmt.Fprintf(c.out, "watched %v: %d new spans", d, len(fresh))
+	if sched > 0 {
+		fmt.Fprintf(c.out, " (%d sched)", sched)
+	}
+	fmt.Fprintln(c.out)
+	return nil
 }
 
 func (c *Console) latency() {

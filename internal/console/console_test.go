@@ -6,6 +6,11 @@ import (
 	"testing"
 
 	drcom "repro"
+	"repro/internal/contract"
+	"repro/internal/descriptor"
+	"repro/internal/fault"
+	"repro/internal/rtos"
+	"repro/internal/workload"
 )
 
 const cameraXML = `<component name="camera" type="periodic" cpuusage="0.1">
@@ -160,5 +165,134 @@ help
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// The observability commands over the camera demo: spans, metrics, and
+// watch must all reflect the deploy/activate history.
+func TestSessionObservabilityCommands(t *testing.T) {
+	out := session(t, `
+deploy camera.xml
+spans
+why camera
+metrics
+watch 100ms
+why ghost
+spans -3
+`)
+	for _, want := range []string{
+		"deploy camera UNSATISFIED",
+		"transition camera SATISFIED->ACTIVE",
+		"spans shown,",
+		"observability @",
+		"lifecycle: 1 deploys",
+		"watched 100ms:",
+		`error: no spans recorded for "ghost"`,
+		"error: usage: spans [n]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// why camera roots the chain at a causing span: ACTIVE descends from
+	// the SATISFIED transition.
+	if !strings.Contains(out, "<- ") {
+		t.Errorf("why printed no causal ancestry:\n%s", out)
+	}
+}
+
+// Acceptance: after a guarded fault campaign, `why disp` must answer the
+// paper's management question — why did the display stop? — with the
+// full causal chain from the injected fault through the violation and
+// revoke to the cascade deactivation.
+func TestSessionWhyChainAfterFaultCampaign(t *testing.T) {
+	sys, err := drcom.NewSystem(drcom.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	// The §4.2 functional routines: calc publishes on its outport so the
+	// guard's staleness probe sees live data (only the injected budget
+	// overrun should trip it).
+	err = sys.RegisterBody("rtai.demo.Calculation", func(*descriptor.Component) rtos.Body {
+		return func(j *rtos.JobContext) {
+			if shm, err := j.Kernel.IPC().SHM(workload.LatencySHM); err == nil {
+				_ = shm.Set(0, int64(j.Now.Sub(j.Nominal)))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.RegisterBody("rtai.demo.Display", func(*descriptor.Component) rtos.Body {
+		return func(j *rtos.JobContext) {
+			if shm, err := j.Kernel.IPC().SHM(workload.LatencySHM); err == nil {
+				_, _ = shm.Get(0)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{workload.CalcXML, workload.DisplayXML} {
+		if err := sys.DeployXML(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj, err := fault.New(sys.DRCR(), sys.Framework())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	if err := inj.Install(workload.StandardCampaign()); err != nil {
+		t.Fatal(err)
+	}
+	guard, err := contract.New(sys.DRCR(), contract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guard.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Stop()
+
+	var out strings.Builder
+	c := New(sys, &out)
+	// Run past the fault start (300ms) and the guard's detection window,
+	// but not past the first quarantine restore.
+	c.Exec("run 350ms")
+	c.Exec("why disp")
+	c.Exec("events")
+	c.Exec("metrics")
+
+	// The chain, consequence first: disp's cascade deactivation, caused
+	// by calc's revoke, caused by the violation, caused by the injection.
+	text := out.String()
+	idx := func(sub string) int { return strings.Index(text, sub) }
+	chain := []string{
+		"transition disp ACTIVE->UNSATISFIED",
+		"<- ",
+		"revoke calc",
+		"violation calc budget-overrun",
+		"fault-inject calc exec-inflate",
+	}
+	last := -1
+	for _, want := range chain {
+		at := idx(want)
+		if at < 0 {
+			t.Fatalf("why chain missing %q:\n%s", want, text)
+		}
+		if at < last {
+			t.Fatalf("why chain out of order at %q:\n%s", want, text)
+		}
+		last = at
+	}
+	// The events timeline carries the same attribution as a why column.
+	if !strings.Contains(text, "why: revoke calc") {
+		t.Errorf("events timeline missing the revoke attribution:\n%s", text)
+	}
+	// And the metrics snapshot counts the enforcement.
+	if !strings.Contains(text, "contract:  1 violations, 1 revocations") {
+		t.Errorf("metrics snapshot missing contract counters:\n%s", text)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/descriptor"
+	"repro/internal/obs"
 	"repro/internal/rtos"
 	"repro/internal/sim"
 )
@@ -91,6 +92,9 @@ type monitor struct {
 	backoff      int // quarantine multiplier for the next revocation
 	healthy      int
 	revokedByUs  bool
+	// quarSpan is the quarantine span opened at revocation; the eventual
+	// restore chains to it.
+	quarSpan obs.SpanID
 }
 
 type portState struct {
@@ -219,7 +223,13 @@ func (g *Guard) CheckNow() []Violation {
 				m.overWindows, m.healthy = 0, 0
 				m.ports = map[string]*portState{}
 				g.record(now, "restore", info.Name, "quarantine served; budget restored")
+				// The restore (and the re-admission it triggers) chains to
+				// the quarantine span opened at revocation.
+				plane := g.d.Obs()
+				plane.PushCause(m.quarSpan)
 				_ = g.d.RestoreBudget(info.Name)
+				plane.PopCause()
+				m.quarSpan = 0
 			}
 			continue
 		}
@@ -231,7 +241,20 @@ func (g *Guard) CheckNow() []Violation {
 			continue
 		}
 		vs := g.checkActive(now, info, m, task)
+		plane := g.d.Obs()
+		var firstVid obs.SpanID
 		for _, v := range vs {
+			// Tie the violation to the open fault on the component (or on
+			// the stalled port — SHM faults target ports by name), so `why`
+			// can walk from the consequence back to the injected cause.
+			cause := plane.OpenCause(v.Component)
+			if cause == 0 && v.Port != "" {
+				cause = plane.OpenCause(v.Port)
+			}
+			vid := plane.Violation(now, v.Component, v.Kind.String(), v.Detail, cause)
+			if firstVid == 0 {
+				firstVid = vid
+			}
 			g.violations = append(g.violations, v)
 			g.record(now, "violation", v.Component, fmt.Sprintf("%v measured=%.4f limit=%.4f %s", v.Kind, v.Measured, v.Limit, v.Detail))
 			for _, l := range g.listeners {
@@ -253,7 +276,11 @@ func (g *Guard) CheckNow() []Violation {
 				m.healthy = 0
 				m.overWindows = 0
 				g.record(now, "revoke", info.Name, reason)
+				// The revocation and its cascade chain to the violation.
+				plane.PushCause(firstVid)
 				_ = g.d.RevokeBudget(info.Name, reason)
+				m.quarSpan = plane.Quarantine(now, info.Name, int64(m.quarantine), 0)
+				plane.PopCause()
 			}
 			continue
 		}
@@ -341,6 +368,7 @@ func (g *Guard) checkActive(now sim.Time, info core.Info, m *monitor, task *rtos
 					At: now, Component: info.Name, Kind: PortStale,
 					Measured: age.Seconds(), Limit: staleAfter.Seconds(),
 					Detail: fmt.Sprintf("outport %q unchanged for %v (period %v)", p.Name, age, period),
+					Port:   p.Name,
 				})
 				ps.lastChange = now // one violation per stall window
 			}

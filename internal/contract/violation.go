@@ -64,6 +64,10 @@ type Violation struct {
 	Measured float64
 	Limit    float64
 	Detail   string
+	// Port names the stalled outport for PortStale violations; empty for
+	// other kinds. Faults target ports by name, so the observability
+	// plane uses it to tie the violation back to the fault that opened it.
+	Port string
 }
 
 func (v Violation) String() string {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/descriptor"
 	"repro/internal/hrc"
 	"repro/internal/ldap"
+	"repro/internal/obs"
 	"repro/internal/osgi"
 	"repro/internal/policy"
 	"repro/internal/rtos"
@@ -159,6 +160,11 @@ type Component struct {
 
 	// wait records the last resolution failure mode (worklist engine).
 	wait waitKind
+	// lastSpan is the component's most recent observability span;
+	// obsCause is the pending cause the next span should carry (set when
+	// another component's transition dirties this one).
+	lastSpan obs.SpanID
+	obsCause obs.SpanID
 	// Admission decision cache: valid while the drain, view epoch and
 	// resolver-chain epoch all match. Scoped to a single drain because
 	// customized resolving services may be stateful across Resolve calls
@@ -231,6 +237,9 @@ type Options struct {
 	// must produce identical lifecycle outcomes, which the differential
 	// churn tests pin.
 	FullSweepResolve bool
+	// Obs is the observability plane every DRCR decision is traced into;
+	// defaults to a fresh plane at the Sampled level.
+	Obs *obs.Plane
 }
 
 func (o *Options) applyDefaults() {
@@ -246,6 +255,9 @@ func (o *Options) applyDefaults() {
 	if o.DefaultAperiodicCost <= 0 {
 		o.DefaultAperiodicCost = 10 * time.Microsecond
 	}
+	if o.Obs == nil {
+		o.Obs = obs.NewPlane(obs.Options{})
+	}
 }
 
 // DRCR is the declarative real-time component runtime.
@@ -255,6 +267,7 @@ type DRCR struct {
 	fw     *osgi.Framework
 	kernel *rtos.Kernel
 	opts   Options
+	obs    *obs.Plane
 
 	comps     map[string]*Component
 	factories map[string]BodyFactory
@@ -334,6 +347,7 @@ func New(fw *osgi.Framework, kernel *rtos.Kernel, opts Options) (*DRCR, error) {
 		fw:          fw,
 		kernel:      kernel,
 		opts:        opts,
+		obs:         opts.Obs,
 		comps:       map[string]*Component{},
 		factories:   map[string]BodyFactory{},
 		provIndex:   map[portKey][]portProv{},
@@ -342,6 +356,8 @@ func New(fw *osgi.Framework, kernel *rtos.Kernel, opts Options) (*DRCR, error) {
 		actMember:   map[string]bool{},
 		deactMember: map[string]bool{},
 	}
+	d.obs.BindKernel(kernel)
+	d.obs.SetLoadFunc(d.declaredLoad)
 	d.chainDirty.Store(true) // build the resolver chain on first consult
 	d.removeBundleListener = fw.AddBundleListener(osgi.BundleListenerFunc(d.bundleChanged))
 	// Resolver registrations/removals invalidate the cached chain. The
@@ -356,6 +372,44 @@ func New(fw *osgi.Framework, kernel *rtos.Kernel, opts Options) (*DRCR, error) {
 
 // Kernel returns the RT kernel the DRCR drives.
 func (d *DRCR) Kernel() *rtos.Kernel { return d.kernel }
+
+// Obs returns the observability plane the DRCR emits into. Subsystems
+// reacting to DRCR state (the contract guard, the fault injector) trace
+// their own decisions through it so causal chains span subsystems.
+func (d *DRCR) Obs() *obs.Plane { return d.obs }
+
+// Observer returns the read-only management view of the plane.
+func (d *DRCR) Observer() obs.Observer { return d.obs.Observer() }
+
+// declaredLoad snapshots the per-CPU admission accumulators for metric
+// snapshots.
+func (d *DRCR) declaredLoad() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]float64, d.kernel.NumCPUs())
+	copy(out, d.cpuLoad)
+	return out
+}
+
+// takeCause consumes a component's pending span cause.
+func (d *DRCR) takeCause(c *Component) obs.SpanID {
+	id := c.obsCause
+	c.obsCause = 0
+	return id
+}
+
+// noteDenyLocked records an admission denial. A deny span is emitted
+// only when the reason changed — the full-sweep engine re-consults every
+// waiting component each pass while the worklist engine re-consults only
+// when something dirtied it, and deduplication makes the two span
+// streams identical.
+func (d *DRCR) noteDenyLocked(c *Component, reason string) {
+	cause := d.takeCause(c)
+	if reason != c.lastReason {
+		c.lastSpan = d.obs.Deny(d.kernel.Now(), c.desc.Name, reason, cause)
+	}
+	c.lastReason = reason
+}
 
 // Framework returns the owning framework.
 func (d *DRCR) Framework() *osgi.Framework { return d.fw }

@@ -21,6 +21,9 @@ func (d *DRCR) resolveOnce() (changed bool) {
 	// The sweep walks a snapshot of the admitted set (sorted by name), as
 	// deactivations shrink it mid-loop.
 	d.mu.Lock()
+	// One reference pass = one resolution round; the sweep has no staged
+	// worklists, so the depth arguments are zero.
+	d.obs.ResolveRound(d.kernel.Now(), 0, 0)
 	d.admittedScratch = d.admittedScratch[:0]
 	for _, ct := range d.admitted {
 		d.admittedScratch = append(d.admittedScratch, ct.Name)
@@ -67,6 +70,9 @@ func (d *DRCR) resolveOnce() (changed bool) {
 		if c.state == Unsatisfied {
 			d.setStateLocked(c, Satisfied, "functional constraints satisfied")
 			changed = true
+			// Chain the admission verdict to the move that enabled it,
+			// mirroring the worklist engine.
+			c.obsCause = c.lastSpan
 		}
 		view := d.viewLocked()
 		cand := contractOf(c.desc)
@@ -82,7 +88,7 @@ func (d *DRCR) resolveOnce() (changed bool) {
 			continue
 		}
 		if !decision.Admit {
-			c.lastReason = "admission denied: " + decision.Reason
+			d.noteDenyLocked(c, "admission denied: "+decision.Reason)
 			d.mu.Unlock()
 			continue
 		}

@@ -247,6 +247,7 @@ func (d *DRCR) addComponent(desc *descriptor.Component, b *osgi.Bundle) error {
 		d.waiting[desc.Name] = c
 		d.enqueueActLocked(desc.Name)
 	}
+	c.lastSpan = d.obs.Deploy(d.kernel.Now(), desc.Name, c.state.String(), c.lastReason)
 	d.emitLocked(Event{
 		At: d.kernel.Now(), Component: desc.Name,
 		From: 0, To: c.state, Reason: c.lastReason,
@@ -424,6 +425,7 @@ func (d *DRCR) setStateLocked(c *Component, to State, reason string) {
 	default:
 		delete(d.waiting, c.desc.Name)
 	}
+	c.lastSpan = d.obs.Transition(d.kernel.Now(), c.desc.Name, from.String(), to.String(), reason, d.takeCause(c))
 	d.emitLocked(Event{At: d.kernel.Now(), Component: c.desc.Name, From: from, To: to, Reason: reason})
 }
 

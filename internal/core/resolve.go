@@ -96,8 +96,14 @@ func (d *DRCR) drainWorklist() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.drainID++ // invalidates admission decisions cached by earlier drains
+	d.obs.NoteDrain()
 	changed := false
 	for {
+		// Trace the round only when there is staged work: a steady-state
+		// Resolve with empty worklists stays span- and allocation-free.
+		if len(d.deactPending) > 0 || len(d.actPending) > 0 {
+			d.obs.ResolveRound(d.kernel.Now(), len(d.deactPending), len(d.actPending))
+		}
 		if d.deactRoundLocked() {
 			changed = true
 		}
@@ -153,6 +159,9 @@ func (d *DRCR) deactRoundLocked() bool {
 			for _, cn := range d.consIndex[keyOf(out)] {
 				if cn == name {
 					continue
+				}
+				if p, ok := d.comps[cn]; ok && p.obsCause == 0 {
+					p.obsCause = c.lastSpan // this deactivation dirtied it
 				}
 				if cn > name {
 					d.deactRound = insertRound(d.deactRound, i, cn)
@@ -231,6 +240,9 @@ func (d *DRCR) tryActivateLocked(i int) bool {
 	if c.state == Unsatisfied {
 		d.setStateLocked(c, Satisfied, "functional constraints satisfied")
 		changed = true
+		// Chain what follows (admission verdict or activation) to the
+		// Unsatisfied→Satisfied move that enabled it.
+		c.obsCause = c.lastSpan
 	}
 	view := d.viewLocked()
 	cand := contractOf(c.desc)
@@ -258,7 +270,7 @@ func (d *DRCR) tryActivateLocked(i int) bool {
 		c.cachedDecision = decision
 	}
 	if !decision.Admit {
-		c.lastReason = "admission denied: " + decision.Reason
+		d.noteDenyLocked(c, "admission denied: "+decision.Reason)
 		c.wait = waitAdmission
 		return changed
 	}
@@ -279,6 +291,9 @@ func (d *DRCR) tryActivateLocked(i int) bool {
 			p, ok := d.comps[cn]
 			if !ok || (p.state != Unsatisfied && p.state != Satisfied) {
 				continue
+			}
+			if p.obsCause == 0 {
+				p.obsCause = c.lastSpan // this activation may satisfy it
 			}
 			if cn > name {
 				d.actRound = insertRound(d.actRound, i, cn)
@@ -316,6 +331,9 @@ func (d *DRCR) markProviderDownLocked(c *Component) {
 	for _, out := range c.desc.OutPorts {
 		for _, cn := range d.consIndex[keyOf(out)] {
 			if cn != c.desc.Name {
+				if p, ok := d.comps[cn]; ok && p.obsCause == 0 {
+					p.obsCause = c.lastSpan // the provider's departure span
+				}
 				d.enqueueDeactLocked(cn)
 			}
 		}

@@ -27,6 +27,10 @@ func (d *DRCR) RevokeBudget(name, reason string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownComponent, name)
 	}
 	why := "budget revoked: " + reason
+	// The revoke span's cause is the ambient one the guard pushed (the
+	// violation that triggered it); the Unsatisfied transition and the
+	// dependant cascade chain to the revoke span in turn.
+	c.obsCause = d.obs.Revoke(d.kernel.Now(), name, why)
 	if c.state == Active || c.state == Suspended {
 		d.deactivateLocked(c, why)
 		d.setStateLocked(c, Unsatisfied, why)
@@ -55,6 +59,9 @@ func (d *DRCR) RestoreBudget(name string) error {
 	}
 	c.revoked = false
 	c.lastReason = "budget restored"
+	// Ambient cause: the quarantine span the guard pushed. Re-admission
+	// spans chain to the restore.
+	c.obsCause = d.obs.Restore(d.kernel.Now(), name, "budget restored")
 	d.enqueueActLocked(name)
 	d.mu.Unlock()
 	d.resolveDelta()

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/descriptor"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/osgi"
 	"repro/internal/policy"
 	"repro/internal/rtos"
@@ -345,6 +346,11 @@ func TestResolveSteadyStateAllocs(t *testing.T) {
 	if st := stateOf(t, d, "disp"); st != Active {
 		t.Fatalf("disp = %v, want ACTIVE", st)
 	}
+	// The observability plane rides the resolve path; the default
+	// sampling level must not break the allocation discipline.
+	if lvl := d.Obs().Level(); lvl != obs.Sampled {
+		t.Fatalf("default obs level = %v, want sampled", lvl)
+	}
 	d.Resolve() // warm up: first resolve builds the resolver chain cache
 	if allocs := testing.AllocsPerRun(100, func() { d.Resolve() }); allocs != 0 {
 		t.Errorf("steady-state Resolve allocates %.1f objects per run, want 0", allocs)
@@ -352,4 +358,11 @@ func TestResolveSteadyStateAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(100, func() { _ = d.GlobalView() }); allocs != 0 {
 		t.Errorf("steady-state GlobalView allocates %.1f objects per run, want 0", allocs)
 	}
+	// Same discipline at Full level: an empty resolve tick emits nothing,
+	// so even the most verbose level leaves the steady state alone.
+	d.Obs().SetLevel(obs.Full)
+	if allocs := testing.AllocsPerRun(100, func() { d.Resolve() }); allocs != 0 {
+		t.Errorf("Full-level steady-state Resolve allocates %.1f objects per run, want 0", allocs)
+	}
+	d.Obs().SetLevel(obs.Sampled)
 }

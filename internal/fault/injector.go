@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ldap"
+	"repro/internal/obs"
 	"repro/internal/osgi"
 	"repro/internal/policy"
 	"repro/internal/rtos/ipc"
@@ -147,8 +148,16 @@ func (inj *Injector) validate(f Fault) error {
 	}
 }
 
+// noteInject traces a fault application and registers it as the open
+// cause on its target, so later violations and clears chain back to it.
+func (inj *Injector) noteInject(now sim.Time, kind Kind, target, detail string) {
+	plane := inj.d.Obs()
+	plane.SetOpenCause(target, plane.FaultInject(now, kind.String(), target, detail))
+}
+
 func (inj *Injector) apply(f Fault) {
 	now := inj.d.Kernel().Now()
+	plane := inj.d.Obs()
 	switch f.Kind {
 	case ExecInflate:
 		factor := f.Factor
@@ -157,26 +166,37 @@ func (inj *Injector) apply(f Fault) {
 		}
 		inj.openScale[f.Target] = factor
 		inj.setScale(f.Target, factor)
+		inj.noteInject(now, f.Kind, f.Target, fmt.Sprintf("factor %.2f", factor))
 		inj.record(now, "inject", f.Kind, f.Target, fmt.Sprintf("factor %.2f", factor))
 	case Stall:
 		inj.openStall[f.Target] = true
 		inj.setStall(f.Target, true)
+		inj.noteInject(now, f.Kind, f.Target, "")
 		inj.record(now, "inject", f.Kind, f.Target, "")
 	case MailboxDrop:
 		inj.openBox[f.Target] = ipc.MailboxDropAll
 		inj.setBoxFault(f.Target, ipc.MailboxDropAll)
+		inj.noteInject(now, f.Kind, f.Target, "")
 		inj.record(now, "inject", f.Kind, f.Target, "")
 	case MailboxDup:
 		inj.openBox[f.Target] = ipc.MailboxDuplicate
 		inj.setBoxFault(f.Target, ipc.MailboxDuplicate)
+		inj.noteInject(now, f.Kind, f.Target, "")
 		inj.record(now, "inject", f.Kind, f.Target, "")
 	case SHMFreeze:
 		inj.openSHM[f.Target] = true
 		inj.setFrozen(f.Target, true)
+		inj.noteInject(now, f.Kind, f.Target, "")
 		inj.record(now, "inject", f.Kind, f.Target, "")
 	case BundleStop:
 		if b := inj.fw.BundleByName(f.Target); b != nil {
-			if err := b.Stop(); err != nil {
+			// Trace before stopping: the withdrawal cascade the stop
+			// triggers chains to the injection span.
+			inj.noteInject(now, f.Kind, f.Target, "")
+			plane.PushCause(plane.OpenCause(f.Target))
+			err := b.Stop()
+			plane.PopCause()
+			if err != nil {
 				inj.record(now, "error", f.Kind, f.Target, err.Error())
 				return
 			}
@@ -187,33 +207,56 @@ func (inj *Injector) apply(f Fault) {
 	case ResolverFlap:
 		inj.denied[f.Target] = true
 		inj.ensureFlapResolver()
+		inj.noteInject(now, f.Kind, f.Target, "resolver now denies")
 		inj.record(now, "inject", f.Kind, f.Target, "resolver now denies")
+		plane.PushCause(plane.OpenCause(f.Target))
 		inj.d.Resolve()
+		plane.PopCause()
 	}
+}
+
+// noteClear traces a fault being lifted (chained to the injection span)
+// and closes the open cause on the target. It returns the clear span so
+// recovery cascades can chain to it.
+func (inj *Injector) noteClear(now sim.Time, kind Kind, target, detail string) obs.SpanID {
+	plane := inj.d.Obs()
+	id := plane.FaultClear(now, kind.String(), target, detail, plane.OpenCause(target))
+	plane.ClearOpenCause(target)
+	return id
 }
 
 func (inj *Injector) clear(f Fault) {
 	now := inj.d.Kernel().Now()
+	plane := inj.d.Obs()
 	switch f.Kind {
 	case ExecInflate:
 		delete(inj.openScale, f.Target)
 		inj.setScale(f.Target, 1)
+		inj.noteClear(now, f.Kind, f.Target, "")
 		inj.record(now, "clear", f.Kind, f.Target, "")
 	case Stall:
 		delete(inj.openStall, f.Target)
 		inj.setStall(f.Target, false)
+		inj.noteClear(now, f.Kind, f.Target, "")
 		inj.record(now, "clear", f.Kind, f.Target, "")
 	case MailboxDrop, MailboxDup:
 		delete(inj.openBox, f.Target)
 		inj.setBoxFault(f.Target, ipc.MailboxHealthy)
+		inj.noteClear(now, f.Kind, f.Target, "")
 		inj.record(now, "clear", f.Kind, f.Target, "")
 	case SHMFreeze:
 		delete(inj.openSHM, f.Target)
 		inj.setFrozen(f.Target, false)
+		inj.noteClear(now, f.Kind, f.Target, "")
 		inj.record(now, "clear", f.Kind, f.Target, "")
 	case BundleStop:
 		if b := inj.fw.BundleByName(f.Target); b != nil {
-			if err := b.Start(); err != nil {
+			// The restart's adoption cascade chains to the clear span.
+			id := inj.noteClear(now, f.Kind, f.Target, "bundle restarted")
+			plane.PushCause(id)
+			err := b.Start()
+			plane.PopCause()
+			if err != nil {
 				inj.record(now, "error", f.Kind, f.Target, err.Error())
 				return
 			}
@@ -221,8 +264,11 @@ func (inj *Injector) clear(f Fault) {
 		}
 	case ResolverFlap:
 		delete(inj.denied, f.Target)
+		id := inj.noteClear(now, f.Kind, f.Target, "resolver admits again")
 		inj.record(now, "clear", f.Kind, f.Target, "resolver admits again")
+		plane.PushCause(id)
 		inj.d.Resolve()
+		plane.PopCause()
 	}
 }
 
@@ -230,12 +276,18 @@ func (inj *Injector) clear(f Fault) {
 // incarnation after the DRCR re-admits it.
 func (inj *Injector) reapply(component string) {
 	now := inj.d.Kernel().Now()
+	plane := inj.d.Obs()
+	noteReapply := func(kind Kind, target, detail string) {
+		plane.FaultReapply(now, kind.String(), target, detail, plane.OpenCause(target))
+	}
 	if factor, ok := inj.openScale[component]; ok {
 		inj.setScale(component, factor)
+		noteReapply(ExecInflate, component, fmt.Sprintf("factor %.2f", factor))
 		inj.record(now, "reapply", ExecInflate, component, fmt.Sprintf("factor %.2f", factor))
 	}
 	if inj.openStall[component] {
 		inj.setStall(component, true)
+		noteReapply(Stall, component, "")
 		inj.record(now, "reapply", Stall, component, "")
 	}
 	// Owned IPC objects are recreated with the component's outport names.
@@ -243,10 +295,12 @@ func (inj *Injector) reapply(component string) {
 		for _, p := range info.OutPorts {
 			if mode, ok := inj.openBox[p.Name]; ok {
 				inj.setBoxFault(p.Name, mode)
+				noteReapply(MailboxDrop, p.Name, mode.String())
 				inj.record(now, "reapply", MailboxDrop, p.Name, mode.String())
 			}
 			if inj.openSHM[p.Name] {
 				inj.setFrozen(p.Name, true)
+				noteReapply(SHMFreeze, p.Name, "")
 				inj.record(now, "reapply", SHMFreeze, p.Name, "")
 			}
 		}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is the stable-ordered metrics export of the plane: every
+// slice is sorted by name, so two snapshots of the same state encode to
+// identical JSON. It merges the plane's own counters with the bound
+// kernel's task, CPU, and mailbox statistics.
+type Snapshot struct {
+	// AtNS is the simulated-clock timestamp in nanoseconds.
+	AtNS int64 `json:"at_ns"`
+	// Level is the sampling level at snapshot time.
+	Level string `json:"level"`
+	// SpansEmitted is the lifetime span count; SpansRetained is how many
+	// are still in the ring.
+	SpansEmitted  uint64 `json:"spans_emitted"`
+	SpansRetained int    `json:"spans_retained"`
+	// Digest / StreamDigest are the running trace digests.
+	Digest       string `json:"digest"`
+	StreamDigest string `json:"stream_digest"`
+
+	Resolve    ResolveStats    `json:"resolve"`
+	Lifecycle  LifecycleStats  `json:"lifecycle"`
+	Contract   ContractStats   `json:"contract"`
+	Fault      FaultStats      `json:"fault"`
+	Sched      SchedStats      `json:"sched"`
+	CPUs       []CPUStat       `json:"cpus,omitempty"`
+	Components []ComponentStat `json:"components,omitempty"`
+	Mailboxes  []MailboxStat   `json:"mailboxes,omitempty"`
+}
+
+// ResolveStats describe the incremental resolve engine.
+type ResolveStats struct {
+	// Drains counts Resolve entries that ran the worklist engine.
+	Drains uint64 `json:"drains"`
+	// Rounds counts resolution rounds (staged-cursor passes).
+	Rounds uint64 `json:"rounds"`
+	// MaxWorklistDepth is the largest staged candidate count seen.
+	MaxWorklistDepth int64 `json:"max_worklist_depth"`
+	// DepthSamples / DepthMean / DepthMax summarise the non-empty-round
+	// depth series (sample count capped, extremes exact).
+	DepthSamples int     `json:"depth_samples"`
+	DepthMean    float64 `json:"depth_mean"`
+	DepthMax     int64   `json:"depth_max"`
+}
+
+// LifecycleStats count Figure 1 decisions.
+type LifecycleStats struct {
+	Deploys       uint64 `json:"deploys"`
+	Transitions   uint64 `json:"transitions"`
+	Activations   uint64 `json:"activations"`
+	Deactivations uint64 `json:"deactivations"`
+	Denials       uint64 `json:"denials"`
+}
+
+// ContractStats count contract-guard decisions.
+type ContractStats struct {
+	Violations  uint64 `json:"violations"`
+	Revocations uint64 `json:"revocations"`
+	Restores    uint64 `json:"restores"`
+	Quarantines uint64 `json:"quarantines"`
+}
+
+// FaultStats count injector activity.
+type FaultStats struct {
+	Injections uint64 `json:"injections"`
+	Clears     uint64 `json:"clears"`
+	Reapplies  uint64 `json:"reapplies"`
+}
+
+// SchedStats count bridged scheduler trace events (Full level only).
+type SchedStats struct {
+	Events uint64 `json:"events"`
+}
+
+// CPUStat is one CPU's declared admission load and consumed busy time.
+type CPUStat struct {
+	CPU int `json:"cpu"`
+	// DeclaredLoad is the DRCR admission accumulator (fraction of 1.0).
+	DeclaredLoad float64 `json:"declared_load"`
+	// BusyNS is the kernel's consumed busy time in nanoseconds.
+	BusyNS int64 `json:"busy_ns"`
+}
+
+// ComponentStat merges per-component plane counters with the kernel's
+// live task counters for the component's task (if it has one).
+type ComponentStat struct {
+	Name        string `json:"name"`
+	Transitions uint64 `json:"transitions"`
+	Denials     uint64 `json:"denials"`
+	Revocations uint64 `json:"revocations"`
+	Violations  uint64 `json:"violations"`
+	// Task counters: zero unless a kernel task with this name exists.
+	Jobs           uint64 `json:"jobs"`
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	Skips          uint64 `json:"skips"`
+	ConsumedNS     int64  `json:"consumed_ns"`
+}
+
+// MailboxStat is one mailbox's transfer counters; drops are the
+// backpressure signal.
+type MailboxStat struct {
+	Name     string `json:"name"`
+	Sent     uint64 `json:"sent"`
+	Received uint64 `json:"received"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// Snapshot assembles the current metric state. Safe on a nil plane
+// (returns an all-zero snapshot with level "off").
+func (p *Plane) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{Level: Off.String()}
+	}
+	s := Snapshot{
+		Level:         p.level.String(),
+		SpansEmitted:  uint64(p.next),
+		SpansRetained: len(p.SpansSince(1)),
+		Digest:        p.Digest(),
+		StreamDigest:  p.StreamDigest(),
+		Resolve: ResolveStats{
+			Drains:           p.c.resolveDrains,
+			Rounds:           p.c.resolveRounds,
+			MaxWorklistDepth: p.c.maxDepth,
+			DepthSamples:     p.depth.Len(),
+			DepthMean:        p.depth.Mean(),
+			DepthMax:         p.depth.Max(),
+		},
+		Lifecycle: LifecycleStats{
+			Deploys:       p.c.deploys,
+			Transitions:   p.c.transitions,
+			Activations:   p.c.activations,
+			Deactivations: p.c.deactivations,
+			Denials:       p.c.denials,
+		},
+		Contract: ContractStats{
+			Violations:  p.c.violations,
+			Revocations: p.c.revocations,
+			Restores:    p.c.restores,
+			Quarantines: p.c.quarantines,
+		},
+		Fault: FaultStats{
+			Injections: p.c.faultInjects,
+			Clears:     p.c.faultClears,
+			Reapplies:  p.c.faultReapply,
+		},
+		Sched: SchedStats{Events: p.c.schedEvents},
+	}
+
+	var load []float64
+	if p.loadFn != nil {
+		load = p.loadFn()
+	}
+	if p.kernel != nil {
+		s.AtNS = int64(p.kernel.Now())
+		for cpu := 0; cpu < p.kernel.NumCPUs(); cpu++ {
+			st := CPUStat{CPU: cpu}
+			if cpu < len(load) {
+				st.DeclaredLoad = load[cpu]
+			}
+			if busy, err := p.kernel.BusyTime(cpu); err == nil {
+				st.BusyNS = int64(busy)
+			}
+			s.CPUs = append(s.CPUs, st)
+		}
+	} else {
+		for cpu, l := range load {
+			s.CPUs = append(s.CPUs, CPUStat{CPU: cpu, DeclaredLoad: l})
+		}
+	}
+
+	names := make([]string, 0, len(p.perComp))
+	for name := range p.perComp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cc := p.perComp[name]
+		st := ComponentStat{
+			Name:        name,
+			Transitions: cc.transitions,
+			Denials:     cc.denials,
+			Revocations: cc.revocations,
+			Violations:  cc.violations,
+		}
+		if p.kernel != nil {
+			if task, ok := p.kernel.Task(name); ok {
+				m := task.Metrics()
+				st.Jobs, st.DeadlineMisses, st.Skips = m.Jobs, m.Misses, m.Skips
+				st.ConsumedNS = int64(m.Consumed)
+			}
+		}
+		s.Components = append(s.Components, st)
+	}
+
+	if p.kernel != nil {
+		_, boxes := p.kernel.IPC().Names()
+		sort.Strings(boxes)
+		for _, name := range boxes {
+			mb, err := p.kernel.IPC().Mailbox(name)
+			if err != nil {
+				continue
+			}
+			sent, received, dropped := mb.Stats()
+			s.Mailboxes = append(s.Mailboxes, MailboxStat{
+				Name: name, Sent: sent, Received: received, Dropped: dropped,
+			})
+		}
+	}
+	return s
+}
+
+// Encode renders the snapshot as indented JSON with a trailing newline,
+// the same convention as the committed bench reports.
+func (s Snapshot) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Format renders the snapshot as the console `metrics` table.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observability @ %v (level %s)\n", time.Duration(s.AtNS), s.Level)
+	fmt.Fprintf(&b, "  spans:     %d emitted, %d retained\n", s.SpansEmitted, s.SpansRetained)
+	fmt.Fprintf(&b, "  resolve:   %d drains, %d rounds, max depth %d (mean %.1f over %d non-empty)\n",
+		s.Resolve.Drains, s.Resolve.Rounds, s.Resolve.MaxWorklistDepth,
+		s.Resolve.DepthMean, s.Resolve.DepthSamples)
+	fmt.Fprintf(&b, "  lifecycle: %d deploys, %d transitions, %d act, %d deact, %d denied\n",
+		s.Lifecycle.Deploys, s.Lifecycle.Transitions, s.Lifecycle.Activations,
+		s.Lifecycle.Deactivations, s.Lifecycle.Denials)
+	fmt.Fprintf(&b, "  contract:  %d violations, %d revocations, %d restores, %d quarantines\n",
+		s.Contract.Violations, s.Contract.Revocations, s.Contract.Restores, s.Contract.Quarantines)
+	fmt.Fprintf(&b, "  fault:     %d injected, %d cleared, %d reapplied\n",
+		s.Fault.Injections, s.Fault.Clears, s.Fault.Reapplies)
+	if s.Sched.Events > 0 {
+		fmt.Fprintf(&b, "  sched:     %d bridged events\n", s.Sched.Events)
+	}
+	for _, c := range s.CPUs {
+		fmt.Fprintf(&b, "  cpu%d:      %3.0f%% declared, busy %v\n",
+			c.CPU, c.DeclaredLoad*100, time.Duration(c.BusyNS))
+	}
+	if len(s.Components) > 0 {
+		fmt.Fprintf(&b, "  %-12s %6s %6s %6s %6s %8s %7s\n",
+			"component", "trans", "deny", "revoke", "viol", "jobs", "misses")
+		for _, c := range s.Components {
+			fmt.Fprintf(&b, "  %-12s %6d %6d %6d %6d %8d %7d\n",
+				c.Name, c.Transitions, c.Denials, c.Revocations, c.Violations,
+				c.Jobs, c.DeadlineMisses)
+		}
+	}
+	for _, m := range s.Mailboxes {
+		fmt.Fprintf(&b, "  mbx %-10s sent %d recv %d dropped %d\n",
+			m.Name, m.Sent, m.Received, m.Dropped)
+	}
+	return b.String()
+}

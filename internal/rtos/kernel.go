@@ -91,6 +91,7 @@ type Kernel struct {
 	tasks   map[string]*Task
 	reg     ipc.Registry
 	tracer  *Tracer
+	sink    TraceSink
 
 	freeJobs *job // recycled job structs, linked through job.nextFree
 }

@@ -3,6 +3,7 @@ package rtos
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,23 +23,23 @@ const (
 	TraceSkip
 )
 
+// traceEventNames is the static name table; String is called on the
+// dispatch hot path when a trace sink is attached, so it must not
+// allocate for any defined kind.
+var traceEventNames = [...]string{
+	TraceRelease:  "release",
+	TraceDispatch: "dispatch",
+	TracePreempt:  "preempt",
+	TraceRotate:   "rotate",
+	TraceComplete: "complete",
+	TraceSkip:     "skip",
+}
+
 func (k TraceEventKind) String() string {
-	switch k {
-	case TraceRelease:
-		return "release"
-	case TraceDispatch:
-		return "dispatch"
-	case TracePreempt:
-		return "preempt"
-	case TraceRotate:
-		return "rotate"
-	case TraceComplete:
-		return "complete"
-	case TraceSkip:
-		return "skip"
-	default:
-		return fmt.Sprintf("TraceEventKind(%d)", int(k))
+	if k > 0 && int(k) < len(traceEventNames) {
+		return traceEventNames[k]
 	}
+	return "TraceEventKind(" + strconv.Itoa(int(k)) + ")"
 }
 
 // TraceEvent is one scheduler occurrence.
@@ -72,7 +73,21 @@ func (k *Kernel) StartTrace(limit int) *Tracer {
 // StopTrace detaches the tracer.
 func (k *Kernel) StopTrace() { k.tracer = nil }
 
+// TraceSink receives every scheduler trace event as it happens. It lets
+// an external observer (the obs plane) fold scheduler activity into its
+// own stream without rtos importing it. The sink runs on the dispatch
+// hot path and must not allocate.
+type TraceSink func(at sim.Time, kind TraceEventKind, task string, cpu int)
+
+// SetTraceSink installs (or, with nil, removes) the live trace sink.
+// The sink is independent of StartTrace's buffering Tracer; both can be
+// attached at once.
+func (k *Kernel) SetTraceSink(sink TraceSink) { k.sink = sink }
+
 func (k *Kernel) trace(at sim.Time, kind TraceEventKind, task string, cpuID int) {
+	if k.sink != nil {
+		k.sink(at, kind, task, cpuID)
+	}
 	tr := k.tracer
 	if tr == nil || len(tr.events) >= tr.limit {
 		return

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/descriptor"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/osgi"
 	"repro/internal/rtos"
 )
@@ -41,6 +42,9 @@ type ChurnSpec struct {
 	// FullSweep selects the reference fixed-point engine instead of the
 	// incremental worklist engine.
 	FullSweep bool
+	// ObsLevel is the observability sampling level for the run (zero
+	// value: Sampled, the default level).
+	ObsLevel obs.Level
 }
 
 func (s *ChurnSpec) applyDefaults() {
@@ -77,6 +81,12 @@ type ChurnStats struct {
 	TraceDigest string
 	// StateDigest is a SHA-256 over the canonical final component states.
 	StateDigest string
+	// ObsDigest is the observability plane's engine-comparable span
+	// stream digest (IDs, cause edges and resolve-round internals
+	// excluded): the two resolve engines must produce equal values.
+	ObsDigest string
+	// Spans is the lifetime span count the storm emitted.
+	Spans uint64
 	// SetupWall / StormWall split untimed population from the timed storm.
 	SetupWall time.Duration
 	StormWall time.Duration
@@ -171,7 +181,10 @@ func RunChurn(spec ChurnSpec) (ChurnStats, error) {
 	fw := osgi.NewFramework()
 	timing := rtos.TimingModel{}
 	k := rtos.NewKernel(rtos.Config{NumCPUs: spec.NumCPUs, Timing: &timing, Seed: uint64(spec.Seed)})
-	d, err := core.New(fw, k, core.Options{FullSweepResolve: spec.FullSweep})
+	d, err := core.New(fw, k, core.Options{
+		FullSweepResolve: spec.FullSweep,
+		Obs:              obs.NewPlane(obs.Options{Level: spec.ObsLevel}),
+	})
 	if err != nil {
 		return ChurnStats{}, err
 	}
@@ -249,7 +262,11 @@ func RunChurn(spec ChurnSpec) (ChurnStats, error) {
 		Events:      len(evs),
 		TraceDigest: hex.EncodeToString(th.Sum(nil)),
 		StateDigest: hex.EncodeToString(sh.Sum(nil)),
-		SetupWall:   setup,
-		StormWall:   storm,
+		// Captured before the deferred Close so teardown spans don't
+		// depend on defer ordering.
+		ObsDigest: d.Obs().StreamDigest(),
+		Spans:     d.Obs().Emitted(),
+		SetupWall: setup,
+		StormWall: storm,
 	}, nil
 }

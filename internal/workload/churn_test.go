@@ -1,6 +1,10 @@
 package workload
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
 
 // The storm must replay bit-identically on both resolve engines: same
 // event trace, same final state. This is the workload-level counterpart
@@ -28,6 +32,17 @@ func TestChurnEnginesAgree(t *testing.T) {
 	if inc.Components != ref.Components || inc.Components == 0 {
 		t.Errorf("component counts: worklist %d, full-sweep %d", inc.Components, ref.Components)
 	}
+	// The observability stream is part of the engine contract too: the
+	// engine-comparable digest (IDs, causes, and round internals
+	// excluded) must match span for span, so a full-sweep re-consult and
+	// a worklist dirty-only consult look identical to observers.
+	if inc.ObsDigest != ref.ObsDigest {
+		t.Errorf("obs stream digests diverge: worklist %s vs full-sweep %s (spans %d vs %d)",
+			inc.ObsDigest, ref.ObsDigest, inc.Spans, ref.Spans)
+	}
+	if inc.Spans == 0 {
+		t.Error("storm emitted no spans")
+	}
 }
 
 // Same spec twice must give the same digests — the bench relies on the
@@ -44,5 +59,32 @@ func TestChurnDeterministic(t *testing.T) {
 	}
 	if a.TraceDigest != b.TraceDigest || a.StateDigest != b.StateDigest {
 		t.Errorf("non-deterministic storm: %+v vs %+v", a, b)
+	}
+	if a.ObsDigest != b.ObsDigest || a.Spans != b.Spans {
+		t.Errorf("non-deterministic obs stream: %s/%d vs %s/%d",
+			a.ObsDigest, a.Spans, b.ObsDigest, b.Spans)
+	}
+}
+
+// The engine-comparable obs digest must also survive a level change: the
+// Full level adds resolve-round and sched spans, but none of them enter
+// the stream digest.
+func TestChurnObsDigestLevelIndependent(t *testing.T) {
+	spec := ChurnSpec{Components: 30, Steps: 80, Seed: 3}
+	sampled, err := RunChurn(spec)
+	if err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	spec.ObsLevel = obs.Full
+	full, err := RunChurn(spec)
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if sampled.ObsDigest != full.ObsDigest {
+		t.Errorf("stream digest changed with sampling level: %s vs %s",
+			sampled.ObsDigest, full.ObsDigest)
+	}
+	if full.Spans <= sampled.Spans {
+		t.Errorf("full level should emit extra spans: %d vs %d", full.Spans, sampled.Spans)
 	}
 }

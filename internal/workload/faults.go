@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/descriptor"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/osgi"
 	"repro/internal/rtos"
 	"repro/internal/sim"
@@ -84,6 +85,14 @@ type FaultCampaignResult struct {
 	Events      []core.Event
 	// Final is the component snapshot at the end of the run.
 	Final []core.Info
+
+	// SpanDigest is the observability plane's full span-trace digest
+	// (IDs and cause edges included) at the end of the run, before
+	// teardown; same seed + same campaign ⇒ byte-identical. SpanCount is
+	// the number of spans behind it, and Obs the metric snapshot.
+	SpanDigest string
+	SpanCount  uint64
+	Obs        obs.Snapshot
 
 	// Containment: disp's dispatch latencies across the whole run,
 	// collected in the functional routine so they survive task
@@ -187,6 +196,11 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (FaultCampaignResult, error) {
 		Events:      d.Events(),
 		Final:       d.Components(),
 		DispSamples: dispLat,
+		// Captured before the deferred Close/inj.Close so teardown spans
+		// don't enter the pinned digest.
+		SpanDigest: d.Obs().Digest(),
+		SpanCount:  d.Obs().Emitted(),
+		Obs:        d.Obs().Snapshot(),
 	}
 	for _, v := range dispLat {
 		if v < 0 {

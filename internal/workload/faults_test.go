@@ -18,6 +18,17 @@ import (
 // casually.
 const faultCampaignGolden = "0e61e15dfed28b9fdd9d20bcb1a2d6556f22965cf714b628ab762927e8e36f96"
 
+// faultCampaignSpanGolden pins the observability plane's full span-trace
+// digest (span IDs and cause edges included) for the same run at the
+// default sampling level. It freezes not just what happened but the
+// causal attribution: which fault caused which violation, which
+// violation drove which revoke, which revoke cascaded which dependant.
+// Refresh deliberately, never casually.
+const (
+	faultCampaignSpanGolden = "c6e61ab5311e85f9d706d0007fe4f30c8ea28e214de3a84002374642ad36c055"
+	faultCampaignSpanCount  = 40
+)
+
 func TestFaultCampaignRepeatable(t *testing.T) {
 	first, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
 	if err != nil {
@@ -46,6 +57,41 @@ func TestFaultCampaignGoldenDigest(t *testing.T) {
 	if res.TraceDigest != faultCampaignGolden {
 		t.Errorf("fault-campaign trace digest = %s, want %s\ntrace:\n%v",
 			res.TraceDigest, faultCampaignGolden, res.GuardTrace)
+	}
+	if res.SpanDigest != faultCampaignSpanGolden || res.SpanCount != faultCampaignSpanCount {
+		t.Errorf("fault-campaign span digest = %s (%d spans), want %s (%d spans)",
+			res.SpanDigest, res.SpanCount, faultCampaignSpanGolden, faultCampaignSpanCount)
+	}
+	second, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.SpanDigest != res.SpanDigest {
+		t.Errorf("span digest differs across identical runs: %s vs %s",
+			res.SpanDigest, second.SpanDigest)
+	}
+}
+
+// The span stream must carry the full causal story of the campaign: the
+// violation names the fault injection as its cause, the revoke descends
+// from the violation, and the snapshot counters agree with the guard's
+// own records.
+func TestFaultCampaignSpanCausality(t *testing.T) {
+	res, err := RunFaultCampaign(FaultCampaignConfig{Guarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs.Contract.Violations != uint64(len(res.Violations)) {
+		t.Errorf("obs counted %d violations, guard recorded %d",
+			res.Obs.Contract.Violations, len(res.Violations))
+	}
+	if res.Obs.Contract.Revocations != uint64(res.RevokeCount) ||
+		res.Obs.Contract.Restores != uint64(res.RestoreCount) {
+		t.Errorf("obs contract stats %+v disagree with revokes=%d restores=%d",
+			res.Obs.Contract, res.RevokeCount, res.RestoreCount)
+	}
+	if res.Obs.Fault.Injections == 0 || res.Obs.Fault.Clears == 0 || res.Obs.Fault.Reapplies == 0 {
+		t.Errorf("fault stats incomplete: %+v (standard campaign re-applies on re-admission)", res.Obs.Fault)
 	}
 }
 
