@@ -10,6 +10,7 @@
 //	         [-ablations] [-faults] [-benchjson FILE]
 //	         [-churn] [-churnjson FILE] [-churnsizes N,N,...] [-churnsteps N]
 //	         [-obs] [-obsjson FILE] [-obssim N]
+//	         [-degrade] [-degradejson FILE]
 //	         [-all]
 package main
 
@@ -49,6 +50,8 @@ func main() {
 		obsRun     = flag.Bool("obs", false, "run the observability-overhead benchmark (per sampling level)")
 		obsjson    = flag.String("obsjson", "", "write the observability JSON report to this file (implies -obs)")
 		obssim     = flag.Int("obssim", 0, "simulated seconds per obs hot-path run (0 = default 5)")
+		degrade    = flag.Bool("degrade", false, "run the graceful-degradation campaign (mode ladder vs binary baseline)")
+		degradeOut = flag.String("degradejson", "", "write the degradation JSON report to this file (implies -degrade)")
 		all        = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
@@ -59,11 +62,14 @@ func main() {
 	if *obsjson != "" {
 		*obsRun = true
 	}
+	if *degradeOut != "" {
+		*degrade = true
+	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun = true, true, true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade = true, true, true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -78,6 +84,9 @@ func main() {
 	}
 	if *obsRun {
 		runObsJSON(*obsjson, *obssim, *seed)
+	}
+	if *degrade {
+		runDegradeJSON(*degradeOut, *seed)
 	}
 	if *hist {
 		runHistograms(*samples, *seed)
@@ -254,6 +263,43 @@ func runObsJSON(path string, simSeconds int, seed uint64) {
 		log.Fatal(err)
 	}
 	var round bench.ObsReport
+	if err := json.Unmarshal(written, &round); err != nil {
+		log.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if err := round.Validate(); err != nil {
+		log.Fatalf("%s failed validation after round trip: %v", path, err)
+	}
+	fmt.Printf("wrote %s (validated)\n", path)
+}
+
+// runDegradeJSON runs the degradation campaign with and without the mode
+// ladder. With a path it writes the machine-readable BENCH_degrade.json,
+// then reads it back and validates it — the CI smoke depends on the
+// written file being well-formed.
+func runDegradeJSON(path string, seed uint64) {
+	rep, err := bench.MeasureDegrade(bench.DegradeBenchConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatDegrade(rep))
+	if err := rep.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if path == "" {
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var round bench.DegradeReport
 	if err := json.Unmarshal(written, &round); err != nil {
 		log.Fatalf("%s is not valid JSON: %v", path, err)
 	}

@@ -273,6 +273,18 @@ func (s *System) Resume(name string) error { return s.drcr.Resume(name) }
 // Remove destroys a component and re-resolves dependants.
 func (s *System) Remove(name string) error { return s.drcr.Remove(name) }
 
+// Downgrade steps an active component down one declared service mode; it
+// keeps serving under the cheaper contract.
+func (s *System) Downgrade(name, reason string) error { return s.drcr.Downgrade(name, reason) }
+
+// AllowPromotion lifts the promotion hold a Downgrade left, letting the
+// resolver step the component back toward its full contract.
+func (s *System) AllowPromotion(name string) error { return s.drcr.AllowPromotion(name) }
+
+// Crash abruptly fails a component: it lands DISABLED, where only a
+// restart supervisor or an explicit Enable brings it back.
+func (s *System) Crash(name, reason string) error { return s.drcr.Crash(name, reason) }
+
 // GlobalView returns the DRCR's admission view of promised contracts.
 func (s *System) GlobalView() View { return s.drcr.GlobalView() }
 

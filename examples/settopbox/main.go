@@ -3,13 +3,16 @@
 // decoder, an audio decoder, an on-screen display and a background
 // transcoder share one CPU; when a second video stream (picture-in-
 // picture) is hot-deployed the CPU is oversubscribed, and an adaptation
-// manager with the importance-shedding policy sacrifices the least
+// manager with the importance-shedding policy degrades the least
 // important components (transcoder first, OSD second) to keep the
 // decoders inside their contracts — then restores them when the PiP
-// stream stops.
+// stream stops. The transcoder and the OSD declare degraded <mode>
+// elements, so shedding steps them down their ladders (they keep
+// serving at a reduced rate) instead of suspending them outright.
 //
 // This exercises the DRCom extensions built on the paper's §6 future
-// work: the importance descriptor attribute and the adaptation manager.
+// work: the importance descriptor attribute, multi-mode contracts, and
+// the adaptation manager.
 package main
 
 import (
@@ -21,11 +24,15 @@ import (
 	"repro/internal/adapt"
 )
 
-func desc(name string, freq int, prio int, usage float64, importance int) string {
+func desc(name string, freq int, prio int, usage float64, importance int, modes ...string) string {
+	extra := ""
+	for _, m := range modes {
+		extra += "\n  " + m
+	}
 	return fmt.Sprintf(`<component name="%s" type="periodic" cpuusage="%.2f" importance="%d">
   <implementation bincode="stb.%s"/>
-  <periodictask frequence="%d" runoncup="0" priority="%d"/>
-</component>`, name, usage, importance, name, freq, prio)
+  <periodictask frequence="%d" runoncup="0" priority="%d"/>%s
+</component>`, name, usage, importance, name, freq, prio, extra)
 }
 
 func main() {
@@ -49,8 +56,12 @@ func main() {
 	pipeline := map[string]string{
 		"OSGI-INF/video.xml": desc("video", 50, 1, 0.40, 10), // 50 fps decoder
 		"OSGI-INF/audio.xml": desc("audio", 100, 2, 0.15, 9), // audio decoder
-		"OSGI-INF/osd.xml":   desc("osd", 25, 3, 0.10, 3),    // on-screen display
-		"OSGI-INF/xcode.xml": desc("xcode", 20, 4, 0.20, 1),  // background transcoder
+		// on-screen display: can fall back to a bare heads-up overlay
+		"OSGI-INF/osd.xml": desc("osd", 25, 3, 0.10, 3,
+			`<mode name="hud" frequence="25" cpuusage="0.02"/>`),
+		// background transcoder: can trickle along at a fifth the budget
+		"OSGI-INF/xcode.xml": desc("xcode", 20, 4, 0.20, 1,
+			`<mode name="idle" frequence="20" cpuusage="0.04"/>`),
 	}
 	if _, err := sys.DeployBundle("stb.pipeline", "1.0", pipeline); err != nil {
 		log.Fatal(err)
@@ -75,8 +86,8 @@ func main() {
 			if ok {
 				misses = task.Stats().Misses
 			}
-			fmt.Printf("   %-6s imp=%-2d budget=%3.0f%%  %-11v misses=%d\n",
-				info.Name, info.Importance, info.CPUUsage*100, info.State, misses)
+			fmt.Printf("   %-6s imp=%-2d budget=%3.0f%% mode=%-5s %-11v misses=%d\n",
+				info.Name, info.Importance, info.CPUUsage*100, info.ModeName, info.State, misses)
 		}
 	}
 
@@ -87,8 +98,8 @@ func main() {
 
 	fmt.Println("\n== viewer opens picture-in-picture: second decoder hot-deployed")
 	// The PiP decoder runs below the resident pipeline's priorities and
-	// above osd/xcode in importance: the manager should sacrifice those
-	// two to make room.
+	// above osd/xcode in importance: the manager should step those two
+	// down their declared mode ladders to make room.
 	pip, err := sys.DeployBundle("stb.pip", "1.0", map[string]string{
 		"OSGI-INF/pip.xml": desc("pip", 50, 5, 0.30, 8),
 	})

@@ -53,6 +53,12 @@ const (
 	ActResume
 	ActSetProperty
 	ActDisable
+	// ActDowngrade steps the component down one declared service mode; it
+	// keeps serving under the cheaper contract instead of stopping.
+	ActDowngrade
+	// ActPromote lifts the promotion hold a previous downgrade left, so
+	// the resolver may step the component back toward its full contract.
+	ActPromote
 )
 
 func (k ActionKind) String() string {
@@ -65,6 +71,10 @@ func (k ActionKind) String() string {
 		return "set-property"
 	case ActDisable:
 		return "disable"
+	case ActDowngrade:
+		return "downgrade"
+	case ActPromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("ActionKind(%d)", int(k))
 	}
@@ -241,6 +251,24 @@ func (m *Manager) apply(a Action) error {
 		return nil
 	case ActDisable:
 		return m.drcr.Disable(a.Component)
+	case ActDowngrade:
+		reason := a.Reason
+		if reason == "" {
+			reason = "adaptation policy"
+		}
+		if err := m.drcr.Downgrade(a.Component, reason); err != nil {
+			return err
+		}
+		// The mode swap recreates the instance, so the next status snapshot
+		// restarts its counters — same stale-delta hazard as a resume.
+		m.grace[a.Component] = 2
+		return nil
+	case ActPromote:
+		if err := m.drcr.AllowPromotion(a.Component); err != nil {
+			return err
+		}
+		m.grace[a.Component] = 2
+		return nil
 	case ActSetProperty:
 		mgmt, ok := m.drcr.Management(a.Component)
 		if !ok {
@@ -253,10 +281,16 @@ func (m *Manager) apply(a Action) error {
 }
 
 // ImportanceShedding is the built-in overload policy: when any component
-// misses deadlines, suspend the least-important active component (its
-// budget stays admitted but its task stops consuming CPU); when the
-// system has been healthy for HealthyChecks consecutive checks, resume
-// the most important component this policy previously suspended.
+// misses deadlines, shed load starting from the least important active
+// component. Downgrades come before suspensions: as long as any victim
+// still has a cheaper declared mode, the least important such victim is
+// stepped down its ladder (it keeps serving under the degraded
+// contract); only when every ladder is exhausted is the least-important
+// component suspended outright (its budget stays admitted but its task
+// stops consuming CPU). When the system has been healthy for
+// HealthyChecks consecutive checks, the most recent victim is restored:
+// resumed if it was suspended, released for re-promotion if it was
+// downgraded.
 type ImportanceShedding struct {
 	// MissThreshold is the per-check miss count that counts as overload
 	// (default 1).
@@ -265,9 +299,16 @@ type ImportanceShedding struct {
 	// victim (default 3).
 	HealthyChecks int
 
-	shed    []string // stack of components we suspended, least important first
+	shed    []shedEntry // stack of victims, least important first
 	healthy int
 	settle  int // checks to skip after a shed, letting its effect land
+}
+
+// shedEntry remembers how one victim was shed, so recovery can undo it
+// with the matching action.
+type shedEntry struct {
+	name       string
+	downgraded bool
 }
 
 // Name implements Policy.
@@ -289,9 +330,9 @@ func (p *ImportanceShedding) Decide(snapshot []Health) []Action {
 		live[h.Info.Name] = true
 	}
 	kept := p.shed[:0]
-	for _, name := range p.shed {
-		if live[name] {
-			kept = append(kept, name)
+	for _, e := range p.shed {
+		if live[e.name] {
+			kept = append(kept, e)
 		}
 	}
 	p.shed = kept
@@ -317,45 +358,69 @@ func (p *ImportanceShedding) Decide(snapshot []Health) []Action {
 	}
 	if overloaded {
 		p.healthy = 0
-		victim := pickVictim(snapshot)
-		if victim == "" {
+		// Prefer downgrade over suspension: a victim with a cheaper
+		// declared mode keeps serving while still freeing capacity, so
+		// every ladder is walked down before anything is stopped.
+		if victim := pickVictim(snapshot, downgradable); victim.Name != "" {
+			p.settle = 1
+			p.shed = append(p.shed, shedEntry{name: victim.Name, downgraded: true})
+			return []Action{{
+				Kind:      ActDowngrade,
+				Component: victim.Name,
+				Reason:    "overload: degrading least-important component",
+			}}
+		}
+		victim := pickVictim(snapshot, nil)
+		if victim.Name == "" {
 			return nil
 		}
-		p.shed = append(p.shed, victim)
 		p.settle = 1
+		p.shed = append(p.shed, shedEntry{name: victim.Name})
 		return []Action{{
 			Kind:      ActSuspend,
-			Component: victim,
+			Component: victim.Name,
 			Reason:    "overload: shedding least-important component",
 		}}
 	}
 	p.healthy++
 	if p.healthy >= healthyChecks && len(p.shed) > 0 {
 		p.healthy = 0
-		// Resume the most important victim first (top of the importance
+		// Restore the most important victim first (top of the importance
 		// order, end of the shed stack by construction below).
 		victim := p.shed[len(p.shed)-1]
 		p.shed = p.shed[:len(p.shed)-1]
+		if victim.downgraded {
+			return []Action{{
+				Kind:      ActPromote,
+				Component: victim.name,
+				Reason:    "system healthy: releasing degraded component for promotion",
+			}}
+		}
 		return []Action{{
 			Kind:      ActResume,
-			Component: victim,
+			Component: victim.name,
 			Reason:    "system healthy: restoring shed component",
 		}}
 	}
 	return nil
 }
 
-// pickVictim returns the least-important active component, breaking ties
-// by higher declared budget (shedding frees more CPU) then by name.
-func pickVictim(snapshot []Health) string {
+// downgradable reports whether a component has a cheaper declared mode
+// left below its current one.
+func downgradable(info core.Info) bool { return info.Mode+1 < len(info.Modes) }
+
+// pickVictim returns the least-important active component accepted by
+// the filter (nil accepts all), breaking ties by higher declared budget
+// (shedding frees more CPU) then by name.
+func pickVictim(snapshot []Health, filter func(core.Info) bool) core.Info {
 	var cands []core.Info
 	for _, h := range snapshot {
-		if h.Info.State == core.Active {
+		if h.Info.State == core.Active && (filter == nil || filter(h.Info)) {
 			cands = append(cands, h.Info)
 		}
 	}
 	if len(cands) == 0 {
-		return ""
+		return core.Info{}
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].Importance != cands[j].Importance {
@@ -366,7 +431,7 @@ func pickVictim(snapshot []Health) string {
 		}
 		return cands[i].Name < cands[j].Name
 	})
-	return cands[0].Name
+	return cands[0]
 }
 
 // Interface-compliance check.

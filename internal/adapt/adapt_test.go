@@ -254,11 +254,202 @@ func TestPickVictimOrdering(t *testing.T) {
 		mk("c", 1, 0.3, core.Active),
 		mk("d", 0, 0.9, core.Suspended), // not active: never a victim
 	}
-	if got := pickVictim(snapshot); got != "c" {
-		t.Fatalf("victim = %q, want c (lowest importance, biggest budget)", got)
+	if got := pickVictim(snapshot, nil); got.Name != "c" {
+		t.Fatalf("victim = %q, want c (lowest importance, biggest budget)", got.Name)
 	}
-	if got := pickVictim(nil); got != "" {
-		t.Fatalf("victim of empty = %q", got)
+	if got := pickVictim(nil, nil); got.Name != "" {
+		t.Fatalf("victim of empty = %q", got.Name)
+	}
+}
+
+// TestImportanceTieOrderIsDeterministic pins the full shed/restore cycle
+// on importance ties: victims fall in higher-budget-then-name order, and
+// recovery undoes them in exactly the reverse order.
+func TestImportanceTieOrderIsDeterministic(t *testing.T) {
+	mk := func(name string, usage float64, st core.State, miss uint64) Health {
+		return Health{
+			Info:        core.Info{Name: name, Importance: 1, CPUUsage: usage, State: st},
+			MissesDelta: miss,
+		}
+	}
+	p := &ImportanceShedding{HealthyChecks: 1}
+	decide := func(snapshot []Health) []Action {
+		t.Helper()
+		return p.Decide(snapshot)
+	}
+	one := func(acts []Action, kind ActionKind, comp string) {
+		t.Helper()
+		if len(acts) != 1 || acts[0].Kind != kind || acts[0].Component != comp {
+			t.Fatalf("actions = %v, want one %v on %s", acts, kind, comp)
+		}
+	}
+	overloaded := []Health{
+		mk("a", 0.2, core.Active, 5),
+		mk("b", 0.3, core.Active, 5),
+		mk("c", 0.2, core.Active, 5),
+	}
+	// All tie on importance: b falls first (highest budget), then the
+	// a/c budget tie breaks by name.
+	one(decide(overloaded), ActSuspend, "b")
+	if acts := decide(overloaded); acts != nil { // settle check after a shed
+		t.Fatalf("settle check acted: %v", acts)
+	}
+	overloaded[1].Info.State = core.Suspended
+	one(decide(overloaded), ActSuspend, "a")
+	decide(overloaded) // settle
+	overloaded[0].Info.State = core.Suspended
+	one(decide(overloaded), ActSuspend, "c")
+	decide(overloaded) // settle
+	healthy := []Health{
+		mk("a", 0.2, core.Suspended, 0),
+		mk("b", 0.3, core.Suspended, 0),
+		mk("c", 0.2, core.Suspended, 0),
+	}
+	// Recovery reverses the shed order exactly: c, a, b.
+	one(decide(healthy), ActResume, "c")
+	one(decide(healthy), ActResume, "a")
+	one(decide(healthy), ActResume, "b")
+	if acts := decide(healthy); acts != nil {
+		t.Fatalf("empty stack still acted: %v", acts)
+	}
+}
+
+// TestDecidePrefersDowngradeOverSuspend pins the mode-aware shed path: a
+// victim with a cheaper declared mode is downgraded (ActDowngrade), one
+// at its lowest mode is suspended, and recovery issues the matching
+// inverse action for each.
+func TestDecidePrefersDowngradeOverSuspend(t *testing.T) {
+	modes := []core.ModeInfo{{Name: "full"}, {Name: "eco"}}
+	victim := Health{Info: core.Info{
+		Name: "x", Importance: 1, CPUUsage: 0.4, State: core.Active, Modes: modes,
+	}}
+	other := Health{Info: core.Info{
+		Name: "y", Importance: 2, CPUUsage: 0.4, State: core.Active,
+	}, MissesDelta: 3}
+	p := &ImportanceShedding{HealthyChecks: 1}
+	acts := p.Decide([]Health{victim, other})
+	if len(acts) != 1 || acts[0].Kind != ActDowngrade || acts[0].Component != "x" {
+		t.Fatalf("actions = %v, want downgrade of x", acts)
+	}
+	p.Decide([]Health{victim, other}) // settle
+	// Still overloaded and x now sits at its lowest mode: suspension is
+	// all that is left.
+	victim.Info.Mode = 1
+	acts = p.Decide([]Health{victim, other})
+	if len(acts) != 1 || acts[0].Kind != ActSuspend || acts[0].Component != "x" {
+		t.Fatalf("actions = %v, want suspend of x at lowest mode", acts)
+	}
+	p.Decide([]Health{victim, other}) // settle
+	victim.Info.State = core.Suspended
+	healthy := []Health{victim, {Info: other.Info}}
+	acts = p.Decide(healthy)
+	if len(acts) != 1 || acts[0].Kind != ActResume || acts[0].Component != "x" {
+		t.Fatalf("actions = %v, want resume of x first", acts)
+	}
+	victim.Info.State = core.Active
+	healthy = []Health{victim, {Info: other.Info}}
+	acts = p.Decide(healthy)
+	if len(acts) != 1 || acts[0].Kind != ActPromote || acts[0].Component != "x" {
+		t.Fatalf("actions = %v, want promote of x second", acts)
+	}
+}
+
+// TestDecideWalksAllLaddersBeforeSuspending pins the cross-victim
+// preference: while ANY active component still has a cheaper declared
+// mode, shedding downgrades (the least important such component) rather
+// than suspending the overall least-important one.
+func TestDecideWalksAllLaddersBeforeSuspending(t *testing.T) {
+	modes := []core.ModeInfo{{Name: "full"}, {Name: "eco"}}
+	plain := Health{Info: core.Info{
+		Name: "plain", Importance: 1, CPUUsage: 0.4, State: core.Active,
+	}, MissesDelta: 3}
+	laddered := Health{Info: core.Info{
+		Name: "laddered", Importance: 5, CPUUsage: 0.4, State: core.Active, Modes: modes,
+	}}
+	p := &ImportanceShedding{HealthyChecks: 1}
+	acts := p.Decide([]Health{laddered, plain})
+	if len(acts) != 1 || acts[0].Kind != ActDowngrade || acts[0].Component != "laddered" {
+		t.Fatalf("actions = %v, want downgrade of laddered before any suspend", acts)
+	}
+	p.Decide([]Health{laddered, plain}) // settle
+	// Every ladder exhausted: now the least-important component falls.
+	laddered.Info.Mode = 1
+	acts = p.Decide([]Health{laddered, plain})
+	if len(acts) != 1 || acts[0].Kind != ActSuspend || acts[0].Component != "plain" {
+		t.Fatalf("actions = %v, want suspend of plain once ladders are dry", acts)
+	}
+}
+
+// modeComp builds a descriptor with one cheaper declared mode.
+func modeComp(t *testing.T, name string, usage float64, prio, importance int, ecoUsage float64) *descriptor.Component {
+	t.Helper()
+	src := fmt.Sprintf(`<component name="%s" type="periodic" cpuusage="%.2f" importance="%d">
+	  <implementation bincode="x"/>
+	  <periodictask frequence="100" runoncup="0" priority="%d"/>
+	  <mode name="eco" frequence="50" cpuusage="%.2f"/>
+	</component>`, name, usage, importance, prio, ecoUsage)
+	c, err := descriptor.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestManagerDowngradesAndRepromotes runs the mode-aware policy against a
+// live system: overload degrades the least-important component instead of
+// suspending it (it keeps serving), and recovery releases it back to the
+// full contract.
+func TestManagerDowngradesAndRepromotes(t *testing.T) {
+	k, d := rig(t)
+	if err := d.Deploy(comp(t, "vital", 0.50, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(comp(t, "guest", 0.40, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(modeComp(t, "extra", 0.30, 3, 1, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(d, &ImportanceShedding{HealthyChecks: 5}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	// 120% load: extra is degraded, not suspended — it keeps serving.
+	if err := k.Run(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := d.Component("extra"); info.State != core.Active || info.ModeName != "eco" {
+		t.Fatalf("extra during overload = %v mode %q, want ACTIVE in eco", info.State, info.ModeName)
+	}
+	for _, a := range m.History() {
+		if a.Action.Kind == ActSuspend {
+			t.Fatalf("suspended %s despite a cheaper mode", a.Action.Component)
+		}
+	}
+	// The guest leaves; after the healthy window the policy releases the
+	// promotion hold and the resolver restores the full contract.
+	if err := d.Remove("guest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := d.Component("extra")
+	if info.State != core.Active || info.Mode != 0 {
+		t.Fatalf("extra after recovery = %v mode %d, want ACTIVE at full contract", info.State, info.Mode)
+	}
+	var promotes int
+	for _, a := range m.History() {
+		if a.Action.Kind == ActPromote && a.Err == nil {
+			promotes++
+		}
+	}
+	if promotes != 1 {
+		t.Fatalf("promotes = %d, want 1 (history %v)", promotes, m.History())
 	}
 }
 

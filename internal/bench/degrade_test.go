@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMeasureDegrade(t *testing.T) {
+	rep, err := MeasureDegrade(DegradeBenchConfig{})
+	if err != nil {
+		t.Fatalf("MeasureDegrade: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var back DegradeReport
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("Validate after round-trip: %v", err)
+	}
+	if FormatDegrade(rep) == "" {
+		t.Error("FormatDegrade returned empty string")
+	}
+}
+
+func TestDegradeReportValidateRejectsBroken(t *testing.T) {
+	rep, err := MeasureDegrade(DegradeBenchConfig{})
+	if err != nil {
+		t.Fatalf("MeasureDegrade: %v", err)
+	}
+	broken := rep
+	broken.Variants = rep.Variants[:1]
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a report with a missing variant")
+	}
+	broken = rep
+	broken.Repeatable = false
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a non-repeatable digest")
+	}
+	// Swapping the availability numbers makes the binary baseline look
+	// better than the graceful run — the exact regression the committed
+	// report is meant to catch.
+	broken = rep
+	broken.Variants = append([]DegradeVariant{}, rep.Variants...)
+	for i := range broken.Variants {
+		if broken.Variants[i].Variant == "binary" {
+			broken.Variants[i].CalcAvailability = 1
+			broken.Variants[i].AuxAvailability = 1
+		}
+	}
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a binary baseline with full availability")
+	}
+}

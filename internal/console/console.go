@@ -75,6 +75,12 @@ func (c *Console) Exec(line string) (quit bool) {
 		err = c.run(args)
 	case "mode":
 		err = c.mode(args)
+	case "modes":
+		c.modes()
+	case "downgrade":
+		err = c.downgrade(args)
+	case "promote":
+		err = c.promote(args)
 	case "list", "lb", "ss":
 		c.list()
 	case "events":
@@ -116,6 +122,9 @@ func (c *Console) printHelp() {
   remove|enable|disable|suspend|resume <name>
   run <duration>          advance simulated time (e.g. run 500ms)
   mode light|stress       switch the load regime
+  modes                   declared service-mode ladders and admitted modes
+  downgrade <name> [why]  step a component down one service mode
+  promote <name>          allow a downgraded component to re-promote
   list                    component table (alias: lb, ss)
   events                  unified decision timeline (with why column)
   spans [n]               last n observability spans (default 20)
@@ -205,6 +214,60 @@ func (c *Console) mode(args []string) error {
 	return nil
 }
 
+// modes prints each component's declared service-mode ladder, marking
+// the admitted mode. Single-mode components are summarised on one line.
+func (c *Console) modes() {
+	for _, info := range c.sys.Components() {
+		if len(info.Modes) == 0 {
+			fmt.Fprintf(c.out, "%-8s full contract only (%.0f%% @ %s)\n",
+				info.Name, info.CPUUsage*100, info.State)
+			continue
+		}
+		fmt.Fprintf(c.out, "%-8s %v\n", info.Name, info.State)
+		for i, m := range info.Modes {
+			marker := " "
+			if i == info.Mode {
+				marker = "*"
+			}
+			fmt.Fprintf(c.out, "  %s %d %-8s %6.0f Hz %5.0f%%", marker, i, m.Name, m.FrequencyHz, m.CPUUsage*100)
+			if len(m.Drops) > 0 {
+				fmt.Fprintf(c.out, "  drops %v", m.Drops)
+			}
+			fmt.Fprintln(c.out)
+		}
+	}
+}
+
+// downgrade steps a component down one declared mode.
+func (c *Console) downgrade(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: downgrade <component> [reason]")
+	}
+	reason := "console request"
+	if len(args) > 1 {
+		reason = strings.Join(args[1:], " ")
+	}
+	if err := c.sys.Downgrade(args[0], reason); err != nil {
+		return err
+	}
+	info, _ := c.sys.Component(args[0])
+	fmt.Fprintf(c.out, "%s: %v mode %d (%s)\n", args[0], info.State, info.Mode, info.ModeName)
+	return nil
+}
+
+// promote lifts a component's promotion hold.
+func (c *Console) promote(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: promote <component>")
+	}
+	if err := c.sys.AllowPromotion(args[0]); err != nil {
+		return err
+	}
+	info, _ := c.sys.Component(args[0])
+	fmt.Fprintf(c.out, "%s: %v mode %d (%s)\n", args[0], info.State, info.Mode, info.ModeName)
+	return nil
+}
+
 func (c *Console) list() {
 	infos := c.sys.Components()
 	fmt.Fprintf(c.out, "%-8s %-11s %-9s %4s %4s %7s %4s  %s\n",
@@ -217,7 +280,7 @@ func (c *Console) list() {
 	fmt.Fprintf(c.out, "%d components\n", len(infos))
 }
 
-// events prints the unified decision timeline: every retained span from
+// / events prints the unified decision timeline: every retained span from
 // the observability plane — lifecycle transitions, admission denials,
 // contract violations, budget revoke/restore, quarantines, faults — with
 // a why column naming the causing span when one is recorded.

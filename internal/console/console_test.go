@@ -18,6 +18,12 @@ const cameraXML = `<component name="camera" type="periodic" cpuusage="0.1">
   <periodictask frequence="100" runoncup="0" priority="2"/>
 </component>`
 
+const modesCameraXML = `<component name="camera" type="periodic" cpuusage="0.1">
+  <implementation bincode="demo.Camera"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+  <mode name="eco" frequence="50" cpuusage="0.05"/>
+</component>`
+
 func newConsole(t *testing.T) (*Console, *strings.Builder) {
 	t.Helper()
 	sys, err := drcom.NewSystem(drcom.Config{Seed: 12})
@@ -28,8 +34,11 @@ func newConsole(t *testing.T) (*Console, *strings.Builder) {
 	var out strings.Builder
 	c := New(sys, &out)
 	c.ReadFile = func(path string) ([]byte, error) {
-		if path == "camera.xml" {
+		switch path {
+		case "camera.xml":
 			return []byte(cameraXML), nil
+		case "modes.xml":
+			return []byte(modesCameraXML), nil
 		}
 		return nil, fmt.Errorf("no such file %q", path)
 	}
@@ -149,6 +158,53 @@ mode
 	// Stress regime visible in the latency row (mean ≈ -21µs).
 	if !strings.Contains(out, "-21") {
 		t.Errorf("stress latency regime not visible:\n%s", out)
+	}
+}
+
+// The degradation commands: modes renders the declared ladder with the
+// admitted rung marked, downgrade steps down it, promote lifts the hold
+// so the resolver climbs back.
+func TestSessionModeLadderCommands(t *testing.T) {
+	out := session(t, `
+deploy modes.xml
+modes
+downgrade camera slow-path
+downgrade camera
+modes
+promote camera
+downgrade
+promote camera extra
+`)
+	for _, want := range []string{
+		"deployed modes.xml",
+		"* 0 full", // full contract admitted at deploy
+		"1 eco",    // the declared degraded rung
+		"50 Hz",
+		"camera: ACTIVE mode 1 (eco)", // downgrade keeps it serving
+		`error: core: camera has no mode below "eco"`, // ladder bottom
+		"* 1 eco",                      // second modes render: marker moved down
+		"camera: ACTIVE mode 0 (full)", // promotion restored the contract
+		"error: usage: downgrade <component> [reason]",
+		"error: usage: promote <component>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The mode swaps surface as ACTIVE->ACTIVE events, not outages.
+	if strings.Contains(out, "UNSATISFIED") {
+		t.Errorf("mode transitions must not look like outages:\n%s", out)
+	}
+}
+
+// Components without declared modes render as single-contract rows.
+func TestSessionModesWithoutLadder(t *testing.T) {
+	out := session(t, `
+deploy camera.xml
+modes
+`)
+	if !strings.Contains(out, "full contract only (10% @ ACTIVE)") {
+		t.Errorf("single-mode component not rendered:\n%s", out)
 	}
 }
 

@@ -89,7 +89,8 @@ type monitor struct {
 	overWindows  int
 	ports        map[string]*portState
 	quarantine   int // checks left before restore, while revoked by us
-	backoff      int // quarantine multiplier for the next revocation
+	modeHold     int // checks left before promotion is allowed again
+	backoff      int // quarantine/hold multiplier for the next enforcement
 	healthy      int
 	revokedByUs  bool
 	// quarSpan is the quarantine span opened at revocation; the eventual
@@ -236,6 +237,16 @@ func (g *Guard) CheckNow() []Violation {
 		if info.State != core.Active {
 			continue
 		}
+		// Serve the downgrade hold: once it expires, the DRCR may promote
+		// the component back toward its full contract on the next pass. A
+		// repeat violation below re-arms it with a doubled backoff.
+		if m.modeHold > 0 {
+			m.modeHold--
+			if m.modeHold <= 0 {
+				g.record(now, "release", info.Name, "downgrade hold served; promotion allowed")
+				_ = g.d.AllowPromotion(info.Name)
+			}
+		}
 		task, ok := k.Task(info.Name)
 		if !ok {
 			continue
@@ -265,6 +276,30 @@ func (g *Guard) CheckNow() []Violation {
 		if len(vs) > 0 {
 			if !g.opts.Observe {
 				reason := fmt.Sprintf("%v: %s", vs[0].Kind, vs[0].Detail)
+				// Graceful degradation first: a component with a cheaper
+				// declared mode steps down and stays available; only a
+				// violation in its last mode escalates to revocation. The
+				// hold before re-promotion reuses the quarantine backoff.
+				if info.Mode+1 < len(info.Modes) {
+					m.modeHold = g.opts.Quarantine * m.backoff
+					if m.backoff < maxBackoff {
+						m.backoff *= g.opts.BackoffFactor
+						if m.backoff > maxBackoff {
+							m.backoff = maxBackoff
+						}
+					}
+					m.healthy = 0
+					m.overWindows = 0
+					// The swap recreates the task and its counters; restart
+					// the measurement window.
+					m.lastConsumed, m.lastMisses, m.lastSkips = 0, 0, 0
+					m.ports = map[string]*portState{}
+					g.record(now, "downgrade", info.Name, reason)
+					plane.PushCause(firstVid)
+					_ = g.d.Downgrade(info.Name, reason)
+					plane.PopCause()
+					continue
+				}
 				m.revokedByUs = true
 				m.quarantine = g.opts.Quarantine * m.backoff
 				if m.backoff < maxBackoff {

@@ -158,6 +158,16 @@ type Component struct {
 	ownedSHM   []string
 	ownedBoxes []string
 
+	// mode is the admitted service mode (0 = the full contract),
+	// meaningful while Active/Suspended. promoHold bars best-effort
+	// promotion back toward mode 0 until AllowPromotion clears it, so a
+	// guard's backoff policy gates re-promotion. admitNote carries the
+	// denial reason that forced a degraded admission, surfaced in the
+	// downgrade span.
+	mode      int
+	promoHold bool
+	admitNote string
+
 	// wait records the last resolution failure mode (worklist engine).
 	wait waitKind
 	// lastSpan is the component's most recent observability span;
@@ -174,6 +184,7 @@ type Component struct {
 	cacheViewEpoch  uint64
 	cacheChainEpoch uint64
 	cachedDecision  policy.Decision
+	cachedMode      int
 	cacheValid      bool
 }
 
@@ -209,9 +220,26 @@ type Info struct {
 	// Revoked reports an outstanding budget revocation (contract
 	// violation); the component cannot re-activate until restored.
 	Revoked bool
+	// Mode is the admitted service mode index (0 = full contract) and
+	// ModeName its label; while degraded, CPUUsage above reflects the
+	// admitted mode's declared budget, not the full contract's. Modes
+	// lists the declared mode ladder including mode 0 (nil when the
+	// component declares no degraded modes).
+	Mode     int
+	ModeName string
+	Modes    []ModeInfo
 	// OutPorts lists the component's declared outports (name and
 	// transport), so external monitors can watch port freshness.
 	OutPorts []PortInfo
+}
+
+// ModeInfo is a read-only declared-mode snapshot with inherited fields
+// resolved.
+type ModeInfo struct {
+	Name        string
+	FrequencyHz float64
+	CPUUsage    float64
+	Drops       []string
 }
 
 // PortInfo is a read-only declared-port snapshot.
@@ -308,7 +336,12 @@ type DRCR struct {
 	// actRound / deactRound the reused buffers the phases sweep; the
 	// drain* fields remember the epochs the last drain synchronised
 	// against.
-	waiting         map[string]*Component
+	waiting map[string]*Component
+	// degraded is the sorted name list of admitted components running
+	// below mode 0; the best-effort promotion pass walks it only when
+	// non-empty, keeping the steady state allocation-free.
+	degraded        []string
+	feasModes       []int
 	actPending      []string
 	actMember       map[string]bool
 	actRound        []string
@@ -499,7 +532,19 @@ func (d *DRCR) infoLocked(c *Component) Info {
 		Importance: c.desc.Importance,
 		LastReason: c.lastReason,
 		Revoked:    c.revoked,
+		Mode:       c.mode,
+		ModeName:   c.desc.ModeName(c.mode),
 		Bindings:   map[string]string{},
+	}
+	if c.mode > 0 {
+		info.CPUUsage = c.desc.ModeSpec(c.mode).CPUUsage
+	}
+	if n := c.desc.NumModes(); n > 1 {
+		info.Modes = make([]ModeInfo, n)
+		for i := 0; i < n; i++ {
+			m := c.desc.ModeSpec(i)
+			info.Modes[i] = ModeInfo{Name: m.Name, FrequencyHz: m.FrequencyHz, CPUUsage: m.CPUUsage, Drops: m.Drops}
+		}
 	}
 	if c.bundle != nil {
 		info.Bundle = c.bundle.SymbolicName()
@@ -572,12 +617,18 @@ func (d *DRCR) noteTransitionLocked(c *Component, from, to State) {
 	if is {
 		d.admitted = append(d.admitted, policy.Contract{})
 		copy(d.admitted[i+1:], d.admitted[i:])
-		d.admitted[i] = contractOf(c.desc)
+		d.admitted[i] = contractAt(c.desc, c.mode)
+		if c.mode > 0 {
+			d.degraded = insertName(d.degraded, name)
+		}
 	} else {
 		if i >= len(d.admitted) || d.admitted[i].Name != name {
 			return // not tracked; nothing to withdraw
 		}
 		d.admitted = append(d.admitted[:i], d.admitted[i+1:]...)
+		if len(d.degraded) > 0 {
+			d.degraded = removeName(d.degraded, name)
+		}
 	}
 	d.recomputeLoadLocked()
 	d.viewEpoch++
@@ -659,6 +710,20 @@ func contractOf(desc *descriptor.Component) policy.Contract {
 	}
 	if desc.Periodic != nil {
 		ct.Period = desc.Periodic.Period()
+	}
+	return ct
+}
+
+// contractAt is the contract a component promises in service mode m:
+// contractOf for mode 0, the mode's declared budget and rate otherwise.
+func contractAt(desc *descriptor.Component, mode int) policy.Contract {
+	ct := contractOf(desc)
+	if mode > 0 {
+		m := desc.ModeSpec(mode)
+		ct.CPUUsage = m.CPUUsage
+		if desc.Periodic != nil {
+			ct.Period = m.Period()
+		}
 	}
 	return ct
 }

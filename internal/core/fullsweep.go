@@ -33,7 +33,7 @@ func (d *DRCR) resolveOnce() (changed bool) {
 		if !ok || (c.state != Active && c.state != Suspended) {
 			continue
 		}
-		if missing := d.unsatisfiedInportLocked(c); missing != "" {
+		if missing := d.unsatisfiedInportLocked(c, c.mode); missing != "" {
 			d.deactivateLocked(c, "inport "+missing+" lost its provider")
 			d.setStateLocked(c, Unsatisfied, "inport "+missing+" lost its provider")
 			changed = true
@@ -57,7 +57,8 @@ func (d *DRCR) resolveOnce() (changed bool) {
 			d.mu.Unlock()
 			continue
 		}
-		if missing := d.unsatisfiedInportLocked(c); missing != "" {
+		modes, missing := d.feasibleModesLocked(c)
+		if len(modes) == 0 {
 			if c.state == Satisfied {
 				d.setStateLocked(c, Unsatisfied, "inport "+missing+" unsatisfied")
 				changed = true
@@ -75,12 +76,14 @@ func (d *DRCR) resolveOnce() (changed bool) {
 			c.obsCause = c.lastSpan
 		}
 		view := d.viewLocked()
-		cand := contractOf(c.desc)
+		desc := c.desc
+		var stack [4]int
+		ms := append(stack[:0], modes...)
 		d.mu.Unlock()
 
 		// Consult resolving services outside the lock: customized
 		// resolvers live in the service registry and may call back.
-		decision := d.consultResolversRef(view, cand)
+		decision, mode, note := d.admitWalk(view, desc, ms, d.consultResolversRef)
 		d.mu.Lock()
 		c, ok = d.comps[name]
 		if !ok || c.state != Satisfied {
@@ -92,7 +95,10 @@ func (d *DRCR) resolveOnce() (changed bool) {
 			d.mu.Unlock()
 			continue
 		}
+		c.mode = mode
+		c.admitNote = note
 		if err := d.activateLocked(c); err != nil {
+			c.mode = 0
 			c.lastReason = "activation failed: " + err.Error()
 			d.mu.Unlock()
 			continue
@@ -100,6 +106,15 @@ func (d *DRCR) resolveOnce() (changed bool) {
 		d.mu.Unlock()
 		changed = true
 	}
+
+	// Best-effort promotion: once the sweep settles, let one degraded
+	// component step toward its full contract; runResolve loops resolveOnce
+	// to a fixed point, so every promotable component gets its turn.
+	d.mu.Lock()
+	if len(d.degraded) > 0 && d.promotePendingLocked(d.consultResolversRef) {
+		changed = true
+	}
+	d.mu.Unlock()
 	return changed
 }
 
@@ -115,9 +130,13 @@ func (d *DRCR) consultResolversRef(view policy.View, cand policy.Contract) polic
 	return chain.Admit(view, cand)
 }
 
-// unsatisfiedInportScanLocked is the index-free satisfaction check.
-func (d *DRCR) unsatisfiedInportScanLocked(c *Component) string {
+// unsatisfiedInportScanLocked is the index-free satisfaction check for
+// service mode m (dropped inports are exempt).
+func (d *DRCR) unsatisfiedInportScanLocked(c *Component, mode int) string {
 	for _, in := range c.desc.InPorts {
+		if !c.desc.RequiresInport(mode, in.Name) {
+			continue
+		}
 		if d.findProviderScanLocked(c.desc.Name, in) == "" {
 			return in.Name
 		}

@@ -258,7 +258,7 @@ func (d *DRCR) addComponent(desc *descriptor.Component, b *osgi.Bundle) error {
 // activateLocked instantiates the component: IPC objects for its
 // outports, the hybrid RT task, and the management service.
 func (d *DRCR) activateLocked(c *Component) error {
-	spec, err := d.taskSpecLocked(c.desc)
+	spec, err := d.taskSpecLocked(c.desc, c.mode)
 	if err != nil {
 		return err
 	}
@@ -311,23 +311,49 @@ func (d *DRCR) activateLocked(c *Component) error {
 		rollback()
 		return err
 	}
-	// Record inport bindings for the global view.
+	// Record inport bindings for the global view; inports the admitted
+	// mode drops stay unbound.
 	c.bindings = map[string]string{}
 	for _, in := range c.desc.InPorts {
+		if !c.desc.RequiresInport(c.mode, in.Name) {
+			continue
+		}
 		c.bindings[in.Name] = d.findProviderLocked(c.desc.Name, in)
 	}
 	c.inst = inst
 	c.ownedSHM = createdSHM
 	c.ownedBoxes = createdBoxes
 	d.setStateLocked(c, Active, "admitted and activated")
+	if c.mode > 0 {
+		// Admitted below the full contract: downgrade-before-deny. The
+		// span chains to the activation so `why` explains the shortfall.
+		detail := "downgrade-before-deny"
+		if c.admitNote != "" {
+			detail += ": " + c.admitNote
+		} else {
+			detail += ": full contract infeasible"
+		}
+		c.lastSpan = d.obs.Downgrade(d.kernel.Now(), c.desc.Name,
+			descriptor.FullModeName, c.desc.ModeName(c.mode), detail, c.lastSpan)
+	}
+	c.admitNote = ""
 
-	// Publish the management service together with the component's
-	// properties (§2.4). Registration happens via the framework-level
-	// registrar: the component may belong to no bundle.
+	d.registerMgmtLocked(c, inst)
+	return nil
+}
+
+// registerMgmtLocked publishes the management service together with the
+// component's properties (§2.4). Registration happens via the
+// framework-level registrar: the component may belong to no bundle. A
+// degraded component advertises its effective budget and current mode.
+func (d *DRCR) registerMgmtLocked(c *Component, inst *hrc.Component) {
 	svcProps := ldap.Properties{
 		"drcom.component": c.desc.Name,
 		"drcom.type":      string(c.desc.Kind),
-		"drcom.cpuusage":  c.desc.CPUUsage,
+		"drcom.cpuusage":  c.desc.ModeSpec(c.mode).CPUUsage,
+	}
+	if c.mode > 0 {
+		svcProps["drcom.mode"] = c.desc.ModeName(c.mode)
 	}
 	for _, p := range c.desc.Properties {
 		svcProps[p.Name] = p.Value
@@ -335,7 +361,6 @@ func (d *DRCR) activateLocked(c *Component) error {
 	if reg, err := d.fw.RegisterService([]string{ManagementInterface}, Management(inst), svcProps); err == nil {
 		c.mgmtReg = reg
 	}
-	return nil
 }
 
 // deactivateLocked tears the instance down and releases its transports.
@@ -356,25 +381,29 @@ func (d *DRCR) deactivateLocked(c *Component, reason string) {
 	}
 	c.ownedSHM, c.ownedBoxes = nil, nil
 	c.bindings = map[string]string{}
+	c.mode = 0
+	c.promoHold = false
 	c.lastReason = reason
 }
 
-// taskSpecLocked maps a descriptor's real-time contract onto an RT task
-// specification. The simulated execution cost is the declared budget
-// (cpuusage × period) unless the component carries an explicit
-// "drcom.exectime.us" property.
-func (d *DRCR) taskSpecLocked(desc *descriptor.Component) (rtos.TaskSpec, error) {
+// taskSpecLocked maps a descriptor's real-time contract in service mode
+// `mode` onto an RT task specification. The simulated execution cost is
+// the mode's declared budget (cpuusage × period) unless the component
+// carries an explicit "drcom.exectime.us" property, which pins the exec
+// time across every mode (degrading changes the contract, not the work).
+func (d *DRCR) taskSpecLocked(desc *descriptor.Component, mode int) (rtos.TaskSpec, error) {
 	spec := rtos.TaskSpec{
 		Name:       desc.Name,
 		CPU:        desc.CPU(),
 		Priority:   desc.Priority(),
 		ExecJitter: d.opts.ExecJitter,
 	}
+	m := desc.ModeSpec(mode)
 	switch desc.Kind {
 	case descriptor.Periodic:
 		spec.Type = rtos.Periodic
-		spec.Period = desc.Periodic.Period()
-		spec.ExecTime = time.Duration(desc.CPUUsage * float64(spec.Period))
+		spec.Period = m.Period()
+		spec.ExecTime = time.Duration(m.CPUUsage * float64(spec.Period))
 		// A task created mid-run starts releasing at the next period
 		// boundary (rt_task_make_periodic semantics). Without the phase,
 		// release index 0 would be nominally at time zero and the task

@@ -113,6 +113,14 @@ func (d *DRCR) drainWorklist() bool {
 		}
 		d.syncWaitersLocked() // activations move the view; re-arm for next pass
 		if len(d.deactPending) == 0 && len(d.actPending) == 0 {
+			// Both worklists drained: new admissions always beat
+			// promotions. Only now may a degraded component claim freed
+			// capacity for a better mode; a success loops so waiters
+			// re-synchronise against the moved view before the next one.
+			if len(d.degraded) > 0 && d.promotePendingLocked(d.consultResolvers) {
+				changed = true
+				continue
+			}
 			return changed
 		}
 	}
@@ -146,7 +154,7 @@ func (d *DRCR) deactRoundLocked() bool {
 			}
 			continue
 		}
-		missing := d.unsatisfiedInportLocked(c)
+		missing := d.unsatisfiedInportLocked(c, c.mode)
 		if missing == "" {
 			continue
 		}
@@ -228,7 +236,8 @@ func (d *DRCR) tryActivateLocked(i int) bool {
 		return false
 	}
 	changed := false
-	if missing := d.unsatisfiedInportLocked(c); missing != "" {
+	modes, missing := d.feasibleModesLocked(c)
+	if len(modes) == 0 {
 		c.wait = waitPorts
 		if c.state == Satisfied {
 			d.setStateLocked(c, Unsatisfied, "inport "+missing+" unsatisfied")
@@ -245,17 +254,24 @@ func (d *DRCR) tryActivateLocked(i int) bool {
 		c.obsCause = c.lastSpan
 	}
 	view := d.viewLocked()
-	cand := contractOf(c.desc)
 	chainEpoch := d.chainEpoch.Load()
 	var decision policy.Decision
+	var mode int
 	if c.cacheValid && c.cacheDrain == d.drainID &&
 		c.cacheViewEpoch == d.viewEpoch && c.cacheChainEpoch == chainEpoch &&
 		!d.chainDirty.Load() {
 		decision = c.cachedDecision
+		mode = c.cachedMode
 	} else {
 		viewEpoch, drainID := d.viewEpoch, d.drainID
+		desc := c.desc
+		// Snapshot the feasible-mode list before unlocking: the scratch
+		// buffer is reused by reentrant resolution work.
+		var stack [4]int
+		ms := append(stack[:0], modes...)
 		d.mu.Unlock()
-		decision = d.consultResolvers(view, cand)
+		var note string
+		decision, mode, note = d.admitWalk(view, desc, ms, d.consultResolvers)
 		ce := d.chainEpoch.Load()
 		d.mu.Lock()
 		c2, ok := d.comps[name]
@@ -268,13 +284,17 @@ func (d *DRCR) tryActivateLocked(i int) bool {
 		c.cacheViewEpoch = viewEpoch
 		c.cacheChainEpoch = ce
 		c.cachedDecision = decision
+		c.cachedMode = mode
+		c.admitNote = note
 	}
 	if !decision.Admit {
 		d.noteDenyLocked(c, "admission denied: "+decision.Reason)
 		c.wait = waitAdmission
 		return changed
 	}
+	c.mode = mode
 	if err := d.activateLocked(c); err != nil {
+		c.mode = 0
 		c.lastReason = "activation failed: " + err.Error()
 		c.wait = waitAdmission
 		return changed
@@ -394,18 +414,136 @@ func (d *DRCR) consultResolvers(view policy.View, cand policy.Contract) policy.D
 	return chain.Admit(view, cand)
 }
 
-// unsatisfiedInportLocked returns the name of the first inport with no
-// compatible outport among admitted components, or "".
-func (d *DRCR) unsatisfiedInportLocked(c *Component) string {
+// unsatisfiedInportLocked returns the name of the first inport required
+// in service mode m with no compatible outport among admitted
+// components, or "". Mode 0 requires every inport; degraded modes exempt
+// their dropped ones.
+func (d *DRCR) unsatisfiedInportLocked(c *Component, mode int) string {
 	if d.opts.FullSweepResolve {
-		return d.unsatisfiedInportScanLocked(c)
+		return d.unsatisfiedInportScanLocked(c, mode)
 	}
 	for _, in := range c.desc.InPorts {
+		if !c.desc.RequiresInport(mode, in.Name) {
+			continue
+		}
 		if d.findProviderIndexLocked(c.desc.Name, in) == "" {
 			return in.Name
 		}
 	}
 	return ""
+}
+
+// feasibleModesLocked collects, in declared order, the service modes of
+// c whose required inports all have admitted providers, reusing the
+// DRCR's scratch buffer. When no mode is feasible, missing names mode
+// 0's first unsatisfied inport (each mode requires a subset of mode 0's
+// inports, so mode 0 infeasible is implied).
+func (d *DRCR) feasibleModesLocked(c *Component) (modes []int, missing string) {
+	nm := c.desc.NumModes()
+	d.feasModes = d.feasModes[:0]
+	for m := 0; m < nm; m++ {
+		miss := d.unsatisfiedInportLocked(c, m)
+		if miss == "" {
+			d.feasModes = append(d.feasModes, m)
+		} else if m == 0 {
+			missing = miss
+		}
+	}
+	if len(d.feasModes) == 0 {
+		return nil, missing
+	}
+	return d.feasModes, ""
+}
+
+// admitWalk consults the resolver chain for each port-feasible mode in
+// declared order and returns the first admitting decision with its mode
+// — "downgrade-before-deny": the best feasible contract is admitted
+// instead of denying the component outright. When every mode is denied
+// it returns the last (cheapest mode's) denial. note carries the first
+// denial's reason, explaining why a degraded admission fell short of the
+// full contract. Runs without d.mu held; both resolve engines share it.
+func (d *DRCR) admitWalk(view policy.View, desc *descriptor.Component, modes []int,
+	consult func(policy.View, policy.Contract) policy.Decision) (policy.Decision, int, string) {
+	var decision policy.Decision
+	note := ""
+	for _, m := range modes {
+		decision = consult(view, contractAt(desc, m))
+		if decision.Admit {
+			return decision, m, note
+		}
+		if note == "" {
+			note = decision.Reason
+		}
+	}
+	return decision, modes[len(modes)-1], note
+}
+
+// promotePendingLocked attempts one best-effort promotion: the first
+// degraded component (in name order) that is active, not held back by a
+// pending AllowPromotion, and whose next-better mode is port-feasible
+// and admitted against the view minus its own current contract steps up
+// one mode. Called with d.mu held and only when both worklists are
+// empty, so new admissions always claim freed capacity first.
+func (d *DRCR) promotePendingLocked(consult func(policy.View, policy.Contract) policy.Decision) bool {
+	for i := 0; i < len(d.degraded); i++ {
+		name := d.degraded[i]
+		c, ok := d.comps[name]
+		if !ok || c.state != Active || c.promoHold || c.revoked || c.mode == 0 {
+			continue
+		}
+		target := c.mode - 1
+		if d.unsatisfiedInportLocked(c, target) != "" {
+			continue
+		}
+		view := d.promotionViewLocked(c)
+		cand := contractAt(c.desc, target)
+		mode := c.mode
+		d.mu.Unlock()
+		decision := consult(view, cand)
+		d.mu.Lock()
+		c2, ok := d.comps[name]
+		if !ok || c2 != c || c.state != Active || c.mode != mode || c.promoHold || c.revoked {
+			continue
+		}
+		if !decision.Admit {
+			continue
+		}
+		from := c.desc.ModeName(c.mode)
+		if err := d.setModeLocked(c, target, "promoted: capacity recovered"); err != nil {
+			continue
+		}
+		c.lastSpan = d.obs.Upgrade(d.kernel.Now(), name, from, c.desc.ModeName(c.mode),
+			"capacity recovered", c.lastSpan)
+		d.emitModeEventLocked(c, "promoted toward full contract")
+		return true
+	}
+	return false
+}
+
+// promotionViewLocked is the admission view with c's own current
+// contract withdrawn — what the world looks like if the component
+// released its degraded budget to claim a better mode.
+func (d *DRCR) promotionViewLocked(c *Component) policy.View {
+	base := d.viewLocked()
+	v := policy.View{NumCPUs: base.NumCPUs, Epoch: base.Epoch}
+	name := c.desc.Name
+	var self policy.Contract
+	if len(base.Admitted) > 1 {
+		v.Admitted = make([]policy.Contract, 0, len(base.Admitted)-1)
+	}
+	for _, ct := range base.Admitted {
+		if ct.Name == name {
+			self = ct
+			continue
+		}
+		v.Admitted = append(v.Admitted, ct)
+	}
+	v.CPULoad = make([]float64, len(base.CPULoad))
+	copy(v.CPULoad, base.CPULoad)
+	if self.CPU >= 0 && self.CPU < len(v.CPULoad) {
+		v.CPULoad[self.CPU] -= self.CPUUsage
+	}
+	return v
 }
 
 // findProviderLocked locates an admitted component whose outport can

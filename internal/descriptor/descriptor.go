@@ -133,6 +133,81 @@ type AperiodicSpec struct {
 	Priority int
 }
 
+// Mode is one declared degraded service mode. The component's base
+// contract (its cpuusage / frequence attributes) is mode 0, the full
+// contract; each <mode> element appends a cheaper fallback the DRCR may
+// admit when the full contract does not fit ("downgrade-before-deny")
+// or step down to when the contract guard observes violations.
+// Validation enforces monotonically decreasing cost across the list.
+type Mode struct {
+	// Name labels the mode ("eco", "min", ...); unique per component.
+	Name string
+	// FrequencyHz overrides the periodic release rate in this mode;
+	// 0 inherits the base rate.
+	FrequencyHz float64
+	// CPUUsage is the mode's declared CPU budget fraction; must be
+	// strictly below the previous mode's budget.
+	CPUUsage float64
+	// Drops lists inports the component does not require in this mode —
+	// optional inputs it can serve without. Outports are never dropped,
+	// so dependants stay satisfied across a downgrade.
+	Drops []string
+}
+
+// Period converts the mode's resolved frequency to a release period
+// (0 for aperiodic components). Meaningful on ModeSpec results, where
+// an inherited frequency has been filled in.
+func (m Mode) Period() time.Duration {
+	return PeriodicSpec{FrequencyHz: m.FrequencyHz}.Period()
+}
+
+// FullModeName labels mode 0, the base contract.
+const FullModeName = "full"
+
+// NumModes is the number of service modes: 1 (the base contract) plus
+// one per declared <mode> element.
+func (c *Component) NumModes() int { return 1 + len(c.Modes) }
+
+// ModeName returns the label of mode i (mode 0 is "full").
+func (c *Component) ModeName(i int) string {
+	if i <= 0 || i > len(c.Modes) {
+		return FullModeName
+	}
+	return c.Modes[i-1].Name
+}
+
+// ModeSpec returns the effective contract parameters of mode i with
+// inherited fields resolved: mode 0 is the base contract, later modes
+// fill FrequencyHz from the base rate when they do not override it.
+func (c *Component) ModeSpec(i int) Mode {
+	base := Mode{Name: FullModeName, CPUUsage: c.CPUUsage}
+	if c.Periodic != nil {
+		base.FrequencyHz = c.Periodic.FrequencyHz
+	}
+	if i <= 0 || i > len(c.Modes) {
+		return base
+	}
+	m := c.Modes[i-1]
+	if m.FrequencyHz <= 0 {
+		m.FrequencyHz = base.FrequencyHz
+	}
+	return m
+}
+
+// RequiresInport reports whether the named inport is required in mode i
+// (a mode's Drops list exempts it).
+func (c *Component) RequiresInport(mode int, name string) bool {
+	if mode <= 0 || mode > len(c.Modes) {
+		return true
+	}
+	for _, d := range c.Modes[mode-1].Drops {
+		if d == name {
+			return false
+		}
+	}
+	return true
+}
+
 // Component is a parsed, validated DRCom descriptor.
 type Component struct {
 	// Name is globally unique and doubles as the RT task name, hence the
@@ -158,6 +233,9 @@ type Component struct {
 	InPorts        []Port
 	OutPorts       []Port
 	Properties     []Property
+	// Modes are the declared degraded service modes, cheapest last; the
+	// base contract above is mode 0. Empty for single-mode components.
+	Modes []Mode
 }
 
 // Property looks up a property by name.
@@ -233,6 +311,14 @@ type xmlComponent struct {
 
 	OutPorts []xmlPort `xml:"outport"`
 	InPorts  []xmlPort `xml:"inport"`
+
+	Modes []struct {
+		Name      string `xml:"name,attr"`
+		Frequence string `xml:"frequence,attr"`
+		Frequency string `xml:"frequency,attr"` // alias
+		CPUUsage  string `xml:"cpuusage,attr"`
+		Drops     string `xml:"drops,attr"` // space-separated inport names
+	} `xml:"mode"`
 
 	Properties []struct {
 		Name  string `xml:"name,attr"`
@@ -338,6 +424,54 @@ func Parse(src string) (*Component, error) {
 		if p, ok := parsePort(xp, In, seenPorts, addf); ok {
 			c.InPorts = append(c.InPorts, p)
 		}
+	}
+
+	prevCost := c.CPUUsage
+	seenModes := map[string]bool{FullModeName: true}
+	for i, xm := range xc.Modes {
+		m := Mode{Name: strings.TrimSpace(xm.Name)}
+		if m.Name == "" {
+			addf("mode %d missing name", i+1)
+		} else if seenModes[m.Name] {
+			addf("duplicate mode name %q", m.Name)
+		} else {
+			seenModes[m.Name] = true
+		}
+		if freq := firstNonEmpty(xm.Frequence, xm.Frequency); freq != "" {
+			if c.Kind != Periodic {
+				addf("mode %q sets frequence on a non-periodic component", m.Name)
+			} else if f, err := strconv.ParseFloat(freq, 64); err != nil || f <= 0 {
+				addf("mode %q frequence %q must be a positive number", m.Name, freq)
+			} else {
+				m.FrequencyHz = f
+			}
+		}
+		u, err := strconv.ParseFloat(strings.TrimSpace(xm.CPUUsage), 64)
+		switch {
+		case err != nil || u <= 0 || u > 1:
+			addf("mode %q cpuusage %q must be a fraction in (0,1]", m.Name, xm.CPUUsage)
+		case u >= prevCost:
+			addf("mode %q cpuusage %g must be below the preceding mode's %g (monotonically decreasing cost)",
+				m.Name, u, prevCost)
+		default:
+			m.CPUUsage = u
+			prevCost = u
+		}
+		for _, d := range strings.Fields(xm.Drops) {
+			declared := false
+			for _, in := range c.InPorts {
+				if in.Name == d {
+					declared = true
+					break
+				}
+			}
+			if !declared {
+				addf("mode %q drops unknown inport %q", m.Name, d)
+				continue
+			}
+			m.Drops = append(m.Drops, d)
+		}
+		c.Modes = append(c.Modes, m)
 	}
 
 	seenProps := map[string]bool{}

@@ -55,6 +55,17 @@ func (c *Component) Render() string {
 		fmt.Fprintf(&b, `  <inport name=%s interface=%s type=%s size="%d"/>`+"\n",
 			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size)
 	}
+	for _, m := range c.Modes {
+		fmt.Fprintf(&b, `  <mode name=%s`, attr(m.Name))
+		if m.FrequencyHz != 0 {
+			fmt.Fprintf(&b, ` frequence="%g"`, m.FrequencyHz)
+		}
+		fmt.Fprintf(&b, ` cpuusage="%g"`, m.CPUUsage)
+		if len(m.Drops) != 0 {
+			fmt.Fprintf(&b, ` drops=%s`, attr(strings.Join(m.Drops, " ")))
+		}
+		b.WriteString("/>\n")
+	}
 	for _, p := range c.Properties {
 		fmt.Fprintf(&b, `  <property name=%s type=%s value=%s/>`+"\n",
 			attr(p.Name), attr(p.Type), attr(p.Value))

@@ -48,6 +48,11 @@ const (
 	// the target component while the fault is open, then withdraws the
 	// veto — a resolver changing its vote at run time.
 	ResolverFlap
+	// Crash abruptly fails the target component: its instance is torn
+	// down and it lands DISABLED, where only a restart supervisor (or an
+	// explicit Enable) brings it back. Clearing the fault closes the open
+	// cause but does not restart the component.
+	Crash
 )
 
 func (k Kind) String() string {
@@ -66,6 +71,8 @@ func (k Kind) String() string {
 		return "bundle-stop"
 	case ResolverFlap:
 		return "resolver-flap"
+	case Crash:
+		return "crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

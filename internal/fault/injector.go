@@ -136,7 +136,7 @@ func (inj *Injector) validate(f Fault) error {
 		return errors.New("fault needs a target")
 	}
 	switch f.Kind {
-	case ExecInflate, Stall, MailboxDrop, MailboxDup, SHMFreeze:
+	case ExecInflate, Stall, MailboxDrop, MailboxDup, SHMFreeze, Crash:
 		return nil
 	case BundleStop, ResolverFlap:
 		if inj.fw == nil {
@@ -212,6 +212,19 @@ func (inj *Injector) apply(f Fault) {
 		plane.PushCause(plane.OpenCause(f.Target))
 		inj.d.Resolve()
 		plane.PopCause()
+	case Crash:
+		// Trace before crashing so the teardown cascade chains to the
+		// injection span; the component stays down until a supervisor
+		// re-enables it.
+		inj.noteInject(now, f.Kind, f.Target, "")
+		plane.PushCause(plane.OpenCause(f.Target))
+		err := inj.d.Crash(f.Target, "injected crash")
+		plane.PopCause()
+		if err != nil {
+			inj.record(now, "error", f.Kind, f.Target, err.Error())
+			return
+		}
+		inj.record(now, "inject", f.Kind, f.Target, "")
 	}
 }
 
@@ -269,6 +282,11 @@ func (inj *Injector) clear(f Fault) {
 		plane.PushCause(id)
 		inj.d.Resolve()
 		plane.PopCause()
+	case Crash:
+		// The defect is gone, but recovery is the supervisor's decision:
+		// clearing only closes the causal chain.
+		inj.noteClear(now, f.Kind, f.Target, "crash condition cleared")
+		inj.record(now, "clear", f.Kind, f.Target, "crash condition cleared")
 	}
 }
 

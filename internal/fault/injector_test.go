@@ -247,3 +247,50 @@ func TestKindStrings(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+// TestCrashFault pins the crash kind: the target drops to DISABLED and
+// stays there (recovery belongs to a supervisor), its dependants cascade,
+// and the clear closes the causal chain without restarting anything.
+func TestCrashFault(t *testing.T) {
+	_, k, d := rig(t)
+	deploy(t, d, calcXML, dispXML)
+	inj, err := New(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	err = inj.Install(Campaign{Name: "crash", Faults: []Fault{{
+		Kind: Crash, Target: "calc", At: time.Millisecond, For: 2 * time.Millisecond,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := d.Component("calc"); info.State != core.Disabled {
+		t.Fatalf("calc = %v after crash, want DISABLED", info.State)
+	}
+	if info, _ := d.Component("disp"); info.State == core.Active {
+		t.Fatal("disp active without its crashed provider")
+	}
+	if err := k.Run(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The clear does not restart: no supervisor is attached.
+	if info, _ := d.Component("calc"); info.State != core.Disabled {
+		t.Fatalf("calc = %v after clear, want still DISABLED", info.State)
+	}
+	var injected, cleared bool
+	for _, r := range inj.Trace() {
+		if r.Kind == Crash && r.Action == "inject" {
+			injected = true
+		}
+		if r.Kind == Crash && r.Action == "clear" {
+			cleared = true
+		}
+	}
+	if !injected || !cleared {
+		t.Fatalf("inject=%v clear=%v, want both (trace %v)", injected, cleared, inj.Trace())
+	}
+}

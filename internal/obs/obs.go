@@ -95,6 +95,10 @@ const (
 	KindFaultReapply
 	KindResolveRound
 	KindSched
+	KindDowngrade
+	KindUpgrade
+	KindRestart
+	KindEscalate
 )
 
 // kindNames is the static name table; String must stay allocation-free
@@ -112,6 +116,10 @@ var kindNames = [...]string{
 	KindFaultReapply: "fault-reapply",
 	KindResolveRound: "resolve-round",
 	KindSched:        "sched",
+	KindDowngrade:    "downgrade",
+	KindUpgrade:      "upgrade",
+	KindRestart:      "restart",
+	KindEscalate:     "escalate",
 }
 
 func (k Kind) String() string {
@@ -166,7 +174,7 @@ func (s Span) String() string {
 		b = append(b, ' ')
 		b = append(b, s.To...)
 	}
-	if s.Kind == KindQuarantine || s.Kind == KindResolveRound {
+	if s.Kind == KindQuarantine || s.Kind == KindResolveRound || s.Kind == KindRestart {
 		b = append(b, " n="...)
 		b = strconv.AppendInt(b, s.N, 10)
 	}
@@ -238,6 +246,10 @@ type counters struct {
 	resolveRounds uint64
 	schedEvents   uint64
 	maxDepth      int64
+	downgrades    uint64
+	upgrades      uint64
+	restarts      uint64
+	escalations   uint64
 }
 
 // compCounters are the per-component metric accumulators.
@@ -528,6 +540,50 @@ func (p *Plane) FaultReapply(at sim.Time, kind, target, detail string, cause Spa
 	}
 	p.c.faultReapply++
 	return p.emit(Span{At: at, Kind: KindFaultReapply, Cause: cause, Component: target, To: kind, Detail: detail})
+}
+
+// Downgrade traces a component stepping down to a cheaper service mode,
+// either at admission ("downgrade-before-deny") or under guard
+// enforcement.
+func (p *Plane) Downgrade(at sim.Time, component, from, to, reason string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.downgrades++
+	p.comp(component).transitions++
+	return p.emit(Span{At: at, Kind: KindDowngrade, Cause: cause, Component: component, From: from, To: to, Detail: reason})
+}
+
+// Upgrade traces a degraded component being promoted back toward its
+// full contract after capacity freed up.
+func (p *Plane) Upgrade(at sim.Time, component, from, to, reason string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.upgrades++
+	p.comp(component).transitions++
+	return p.emit(Span{At: at, Kind: KindUpgrade, Cause: cause, Component: component, From: from, To: to, Detail: reason})
+}
+
+// Restart traces a supervised restart; n is the restart count within the
+// supervisor's current window.
+func (p *Plane) Restart(at sim.Time, component string, n int64, reason string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.restarts++
+	return p.emit(Span{At: at, Kind: KindRestart, Cause: cause, Component: component, N: n, Detail: reason})
+}
+
+// Escalate traces a supervisor escalating past a component's exhausted
+// restart budget; target names the escalation scope (the bundle, or the
+// component itself when it has no bundle to restart).
+func (p *Plane) Escalate(at sim.Time, component, target, reason string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.escalations++
+	return p.emit(Span{At: at, Kind: KindEscalate, Cause: cause, Component: component, To: target, Detail: reason})
 }
 
 // NoteDrain counts one worklist drain (one Resolve entry).

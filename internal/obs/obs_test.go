@@ -220,6 +220,11 @@ func TestDigestDeterministicAndLevelIndependent(t *testing.T) {
 		tr := p.Transition(at(time.Millisecond), "calc", "UNSATISFIED", "SATISFIED", "resolved", 0)
 		p.Transition(at(time.Millisecond), "calc", "SATISFIED", "ACTIVE", "admitted", tr)
 		p.Deny(at(2*time.Millisecond), "disp", "admission denied: cpu full", 0)
+		// The degradation and supervision kinds fold into the digests too.
+		dg := p.Downgrade(at(3*time.Millisecond), "calc", "full", "eco", "budget-overrun", 0)
+		p.Upgrade(at(4*time.Millisecond), "calc", "eco", "full", "capacity freed", dg)
+		rs := p.Restart(at(5*time.Millisecond), "zaux", 1, "crashed", 0)
+		p.Escalate(at(6*time.Millisecond), "zaux", "zaux", "restart budget exhausted", rs)
 		return p
 	}
 	a, b, full := run(Sampled), run(Sampled), run(Full)
@@ -257,6 +262,10 @@ func TestDigestDeterministicAndLevelIndependent(t *testing.T) {
 	d.Transition(at(time.Millisecond), "calc", "UNSATISFIED", "SATISFIED", "resolved", 0)
 	d.Transition(at(time.Millisecond), "calc", "SATISFIED", "ACTIVE", "admitted", 0) // cause dropped
 	d.Deny(at(2*time.Millisecond), "disp", "admission denied: cpu full", 0)
+	d.Downgrade(at(3*time.Millisecond), "calc", "full", "eco", "budget-overrun", 0)
+	d.Upgrade(at(4*time.Millisecond), "calc", "eco", "full", "capacity freed", 0) // cause dropped
+	d.Restart(at(5*time.Millisecond), "zaux", 1, "crashed", 0)
+	d.Escalate(at(6*time.Millisecond), "zaux", "zaux", "restart budget exhausted", 0) // cause dropped
 	if d.StreamDigest() != a.StreamDigest() {
 		t.Fatal("StreamDigest must ignore cause edges")
 	}
@@ -279,6 +288,18 @@ func TestSpanString(t *testing.T) {
 			"#4 [1s] quarantine calc n=4 <- #2"},
 		{Span{ID: 9, At: at(0), Kind: KindSched, Component: "tick", To: "dispatch", N: 1},
 			"#9 [0s] sched tick dispatch"},
+		{Span{ID: 11, At: at(3 * time.Millisecond), Kind: KindDowngrade, Component: "calc",
+			From: "full", To: "eco", Detail: "budget-overrun", Cause: 5},
+			"#11 [3ms] downgrade calc full->eco (budget-overrun) <- #5"},
+		{Span{ID: 12, At: at(4 * time.Millisecond), Kind: KindUpgrade, Component: "calc",
+			From: "eco", To: "full", Detail: "capacity freed"},
+			"#12 [4ms] upgrade calc eco->full (capacity freed)"},
+		{Span{ID: 13, At: at(5 * time.Millisecond), Kind: KindRestart, Component: "zaux",
+			N: 2, Detail: "crashed: injected", Cause: 8},
+			"#13 [5ms] restart zaux n=2 (crashed: injected) <- #8"},
+		{Span{ID: 14, At: at(6 * time.Millisecond), Kind: KindEscalate, Component: "zaux",
+			To: "bundle stb.aux", Detail: "restart budget exhausted"},
+			"#14 [6ms] escalate zaux bundle stb.aux (restart budget exhausted)"},
 	}
 	for _, c := range cases {
 		if got := c.s.String(); got != c.want {
@@ -288,7 +309,7 @@ func TestSpanString(t *testing.T) {
 }
 
 func TestKindStringExhaustive(t *testing.T) {
-	for k := KindDeploy; k <= KindSched; k++ {
+	for k := KindDeploy; k <= KindEscalate; k++ {
 		if s := k.String(); strings.HasPrefix(s, "Kind(") || s == "" {
 			t.Fatalf("kind %d has no name: %q", k, s)
 		}

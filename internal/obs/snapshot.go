@@ -28,6 +28,8 @@ type Snapshot struct {
 	Resolve    ResolveStats    `json:"resolve"`
 	Lifecycle  LifecycleStats  `json:"lifecycle"`
 	Contract   ContractStats   `json:"contract"`
+	Degrade    DegradeStats    `json:"degrade"`
+	Supervise  SuperviseStats  `json:"supervise"`
 	Fault      FaultStats      `json:"fault"`
 	Sched      SchedStats      `json:"sched"`
 	CPUs       []CPUStat       `json:"cpus,omitempty"`
@@ -65,6 +67,18 @@ type ContractStats struct {
 	Revocations uint64 `json:"revocations"`
 	Restores    uint64 `json:"restores"`
 	Quarantines uint64 `json:"quarantines"`
+}
+
+// DegradeStats count service-mode transitions.
+type DegradeStats struct {
+	Downgrades uint64 `json:"downgrades"`
+	Upgrades   uint64 `json:"upgrades"`
+}
+
+// SuperviseStats count restart-supervisor decisions.
+type SuperviseStats struct {
+	Restarts    uint64 `json:"restarts"`
+	Escalations uint64 `json:"escalations"`
 }
 
 // FaultStats count injector activity.
@@ -144,6 +158,14 @@ func (p *Plane) Snapshot() Snapshot {
 			Revocations: p.c.revocations,
 			Restores:    p.c.restores,
 			Quarantines: p.c.quarantines,
+		},
+		Degrade: DegradeStats{
+			Downgrades: p.c.downgrades,
+			Upgrades:   p.c.upgrades,
+		},
+		Supervise: SuperviseStats{
+			Restarts:    p.c.restarts,
+			Escalations: p.c.escalations,
 		},
 		Fault: FaultStats{
 			Injections: p.c.faultInjects,
@@ -239,6 +261,14 @@ func (s Snapshot) Format() string {
 		s.Lifecycle.Deactivations, s.Lifecycle.Denials)
 	fmt.Fprintf(&b, "  contract:  %d violations, %d revocations, %d restores, %d quarantines\n",
 		s.Contract.Violations, s.Contract.Revocations, s.Contract.Restores, s.Contract.Quarantines)
+	if s.Degrade.Downgrades > 0 || s.Degrade.Upgrades > 0 {
+		fmt.Fprintf(&b, "  degrade:   %d downgrades, %d upgrades\n",
+			s.Degrade.Downgrades, s.Degrade.Upgrades)
+	}
+	if s.Supervise.Restarts > 0 || s.Supervise.Escalations > 0 {
+		fmt.Fprintf(&b, "  supervise: %d restarts, %d escalations\n",
+			s.Supervise.Restarts, s.Supervise.Escalations)
+	}
 	fmt.Fprintf(&b, "  fault:     %d injected, %d cleared, %d reapplied\n",
 		s.Fault.Injections, s.Fault.Clears, s.Fault.Reapplies)
 	if s.Sched.Events > 0 {
