@@ -11,6 +11,7 @@
 //	         [-churn] [-churnjson FILE] [-churnsizes N,N,...] [-churnsteps N]
 //	         [-obs] [-obsjson FILE] [-obssim N]
 //	         [-degrade] [-degradejson FILE]
+//	         [-shards] [-shardjson FILE] [-shardsim N]
 //	         [-all]
 package main
 
@@ -52,6 +53,9 @@ func main() {
 		obssim     = flag.Int("obssim", 0, "simulated seconds per obs hot-path run (0 = default 5)")
 		degrade    = flag.Bool("degrade", false, "run the graceful-degradation campaign (mode ladder vs binary baseline)")
 		degradeOut = flag.String("degradejson", "", "write the degradation JSON report to this file (implies -degrade)")
+		shardsRun  = flag.Bool("shards", false, "run the shard-scaling sweep (events/sec per shard count)")
+		shardjson  = flag.String("shardjson", "", "write the shard-scaling JSON report to this file (implies -shards)")
+		shardsim   = flag.Int("shardsim", 0, "simulated seconds per shard-sweep rung (0 = default 10)")
 		all        = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
@@ -65,11 +69,14 @@ func main() {
 	if *degradeOut != "" {
 		*degrade = true
 	}
+	if *shardjson != "" {
+		*shardsRun = true
+	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade = true, true, true, true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade, *shardsRun = true, true, true, true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && !*shardsRun && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -87,6 +94,9 @@ func main() {
 	}
 	if *degrade {
 		runDegradeJSON(*degradeOut, *seed)
+	}
+	if *shardsRun {
+		runShardJSON(*shardjson, *shardsim)
 	}
 	if *hist {
 		runHistograms(*samples, *seed)
@@ -307,6 +317,37 @@ func runDegradeJSON(path string, seed uint64) {
 		log.Fatalf("%s failed validation after round trip: %v", path, err)
 	}
 	fmt.Printf("wrote %s (validated)\n", path)
+}
+
+// runShardJSON runs the shard-scaling sweep over the shard ladder. With
+// a path it writes the machine-readable BENCH_shard.json; the speedup
+// column is only meaningful on a machine with real cores to spare
+// (num_cpu in the report records what the sweep had available).
+func runShardJSON(path string, simSeconds int) {
+	rep, err := bench.MeasureShardScaling(bench.ShardConfig{SimSeconds: simSeconds})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatShard(rep))
+	if path == "" {
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var round bench.ShardReport
+	if err := json.Unmarshal(written, &round); err != nil {
+		log.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 // runFaults renders Ablation E: the standard fault campaign with the

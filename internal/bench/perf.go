@@ -20,6 +20,9 @@ type PerfReport struct {
 	NumCPU    int    `json:"num_cpu"`
 	// Workers is the goroutine-pool size used for the Monte-Carlo part.
 	Workers int `json:"workers"`
+	// Shards is the kernel shard count of the hot-path run (1 = the
+	// sequential engine; BENCH_shard.json carries the scaling sweep).
+	Shards int `json:"shards"`
 	// Kernel is the single-threaded hot-path measurement.
 	Kernel KernelPerf `json:"kernel"`
 	// MonteCarlo is the parallel-harness measurement.
@@ -67,6 +70,9 @@ type PerfConfig struct {
 	BaseSeed uint64
 	// Workers for the goroutine pool (default runtime.NumCPU()).
 	Workers int
+	// Shards for the kernel hot-path run (default 1, the sequential
+	// engine the baseline has always measured).
+	Shards int
 }
 
 func (c *PerfConfig) applyDefaults() {
@@ -85,6 +91,9 @@ func (c *PerfConfig) applyDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = DefaultWorkers()
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 }
 
 // MeasurePerf runs both reference workloads and assembles the report.
@@ -94,8 +103,9 @@ func MeasurePerf(cfg PerfConfig) (PerfReport, error) {
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Workers:   cfg.Workers,
+		Shards:    cfg.Shards,
 	}
-	kp, err := measureKernel(cfg.SimSeconds)
+	kp, err := measureKernel(cfg.SimSeconds, cfg.Shards)
 	if err != nil {
 		return PerfReport{}, err
 	}
@@ -112,8 +122,8 @@ func MeasurePerf(cfg PerfConfig) (PerfReport, error) {
 // simSeconds of virtual time, reading alloc counters around the run. A
 // one-second warm-up fills the event and job pools first so the numbers
 // reflect the allocation-free steady state.
-func measureKernel(simSeconds int) (KernelPerf, error) {
-	k := rtos.NewKernel(rtos.Config{Seed: 1})
+func measureKernel(simSeconds, shards int) (KernelPerf, error) {
+	k := rtos.NewKernel(rtos.Config{Seed: 1, NumCPUs: shards, Shards: shards})
 	task, err := k.CreateTask(rtos.TaskSpec{
 		Name: "tick", Type: rtos.Periodic, Period: time.Millisecond,
 		ExecTime: 30 * time.Microsecond,
@@ -127,7 +137,7 @@ func measureKernel(simSeconds int) (KernelPerf, error) {
 	if err := k.Run(time.Second); err != nil { // warm-up: pools fill here
 		return KernelPerf{}, err
 	}
-	startEvents := k.Clock().Fired()
+	startEvents := k.EventsFired()
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -137,7 +147,7 @@ func measureKernel(simSeconds int) (KernelPerf, error) {
 	}
 	wall := time.Since(wallStart)
 	runtime.ReadMemStats(&after)
-	events := k.Clock().Fired() - startEvents
+	events := k.EventsFired() - startEvents
 	kp := KernelPerf{
 		SimSeconds: float64(simSeconds),
 		Events:     events,

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/rtos"
+)
+
+// Shard-scaling sweep: the same multi-CPU kernel workload measured at a
+// ladder of shard counts, quantifying what the windowed parallel engine
+// (rtos.Config.Shards) buys on the measuring machine. cmd/latbench
+// writes the committed BENCH_shard.json from this.
+
+// ShardPoint is one rung of the sweep.
+type ShardPoint struct {
+	Shards         int     `json:"shards"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	Events         uint64  `json:"events"`
+	WallNS         int64   `json:"wall_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NSPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Speedup is EventsPerSec relative to the 1-shard rung.
+	Speedup float64 `json:"speedup"`
+}
+
+// ShardReport is the machine-readable scaling snapshot.
+type ShardReport struct {
+	GoVersion string `json:"go_version"`
+	// NumCPU is the real core count of the measuring machine — the hard
+	// ceiling on any parallel speedup. SimCPUs is the simulated CPU
+	// count of the workload (one 1 kHz task per simulated CPU).
+	NumCPU  int          `json:"num_cpu"`
+	SimCPUs int          `json:"sim_cpus"`
+	Points  []ShardPoint `json:"points"`
+}
+
+// ShardConfig sizes MeasureShardScaling. The zero value selects the
+// reference configuration committed as BENCH_shard.json.
+type ShardConfig struct {
+	// SimSeconds of virtual time per rung (default 10).
+	SimSeconds int
+	// SimCPUs is the simulated CPU count (default 16).
+	SimCPUs int
+	// Counts is the shard ladder (default 1,2,4,8,16; clamped to SimCPUs).
+	Counts []int
+}
+
+func (c *ShardConfig) applyDefaults() {
+	if c.SimSeconds <= 0 {
+		c.SimSeconds = 10
+	}
+	if c.SimCPUs <= 0 {
+		c.SimCPUs = 16
+	}
+	if len(c.Counts) == 0 {
+		c.Counts = []int{1, 2, 4, 8, 16}
+	}
+}
+
+// MeasureShardScaling runs the ladder. Every rung executes the identical
+// seeded workload — the scheduler traces are equal by the sharding
+// determinism contract — so events vary only with the rung's engine
+// bookkeeping and wall time is the only real variable.
+func MeasureShardScaling(cfg ShardConfig) (ShardReport, error) {
+	cfg.applyDefaults()
+	rep := ShardReport{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		SimCPUs:   cfg.SimCPUs,
+	}
+	for _, n := range cfg.Counts {
+		if n > cfg.SimCPUs {
+			n = cfg.SimCPUs
+		}
+		pt, err := measureShardPoint(cfg.SimCPUs, n, cfg.SimSeconds)
+		if err != nil {
+			return ShardReport{}, err
+		}
+		if len(rep.Points) > 0 && rep.Points[0].EventsPerSec > 0 {
+			pt.Speedup = pt.EventsPerSec / rep.Points[0].EventsPerSec
+		} else {
+			pt.Speedup = 1
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// measureShardPoint measures one rung: simCPUs 1 kHz periodic tasks (the
+// BenchmarkKernelThroughput task replicated per CPU) run sharded for
+// simSeconds of virtual time after a one-second pool warm-up.
+func measureShardPoint(simCPUs, shards, simSeconds int) (ShardPoint, error) {
+	k := rtos.NewKernel(rtos.Config{NumCPUs: simCPUs, Shards: shards, Seed: 1})
+	for c := 0; c < simCPUs; c++ {
+		task, err := k.CreateTask(rtos.TaskSpec{
+			Name: fmt.Sprintf("tk%02d", c), Type: rtos.Periodic, CPU: c,
+			Period: time.Millisecond, ExecTime: 30 * time.Microsecond,
+		})
+		if err != nil {
+			return ShardPoint{}, err
+		}
+		if err := task.Start(); err != nil {
+			return ShardPoint{}, err
+		}
+	}
+	if err := k.Run(time.Second); err != nil { // warm-up: pools fill here
+		return ShardPoint{}, err
+	}
+	startEvents := k.EventsFired()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	wallStart := time.Now()
+	if err := k.Run(time.Duration(simSeconds) * time.Second); err != nil {
+		return ShardPoint{}, err
+	}
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&after)
+	events := k.EventsFired() - startEvents
+	pt := ShardPoint{
+		Shards:     k.Shards(),
+		SimSeconds: float64(simSeconds),
+		Events:     events,
+		WallNS:     wall.Nanoseconds(),
+	}
+	if events > 0 {
+		pt.EventsPerSec = float64(events) / wall.Seconds()
+		pt.NSPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		pt.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+	}
+	return pt, nil
+}
+
+// Encode renders the report the way the committed BENCH_shard.json is
+// stored: two-space indentation, trailing newline, human-diffable.
+func (r ShardReport) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatShard renders the sweep as a terminal table.
+func FormatShard(r ShardReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard scaling — %d simulated CPUs on %d real cores (%s)\n",
+		r.SimCPUs, r.NumCPU, r.GoVersion)
+	fmt.Fprintf(&b, "%8s %14s %12s %14s %8s\n",
+		"shards", "events/sec", "ns/event", "allocs/event", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %14.0f %12.1f %14.5f %7.2fx\n",
+			p.Shards, p.EventsPerSec, p.NSPerEvent, p.AllocsPerEvent, p.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package core
+
+import "sync"
+
+// Cone-striped locking for the lifecycle surface (Options.Shards).
+//
+// The component table is partitioned by *dependency cone*: the
+// union-find below tracks, per simulated CPU, which CPUs are coupled —
+// two CPUs join the same cone when a port topic spans them (a binding
+// may cross them) and components on one CPU always share a cone (they
+// compete for the same budget). Each cone hashes to one of Shards lock
+// stripes; a lifecycle operation takes its cone's stripe *before* the
+// runtime mutex d.mu, so operations on independent cones overlap — each
+// holds its stripe through mutation plus the incremental resolution it
+// triggers, interleaving with other cones at d.mu granularity — while
+// operations inside one cone serialise in arrival order.
+//
+// Cone tracking is deliberately monotone: cones only ever merge. A
+// removal does not split its cone even when it cut the last edge between
+// two CPU groups — a conservative over-approximation that costs some
+// concurrency under churn but keeps every merge O(α) and makes stale
+// stripe lookups detectable by simple revalidation (a cone's stripe can
+// change only because the cone grew).
+//
+// Lock order, globally: stripes in ascending index order, then d.mu.
+// Nothing acquires a stripe while holding d.mu. Event listeners run
+// with the operation's stripes held (d.mu dropped), so a listener must
+// not call lifecycle operations inline when sharding is on — schedule
+// them on the kernel clock instead, as packages fault and supervise do.
+
+// maxInlineStripes bounds the stripes one wiring operation names before
+// it escalates to whole-table locking.
+const maxInlineStripes = 8
+
+// coneToken records the stripes a lifecycle operation holds. The zero
+// token holds nothing; tokens are comparable, which revalidation uses.
+type coneToken struct {
+	all bool
+	n   int
+	s   [maxInlineStripes]int32
+}
+
+// coneLocks is the stripe table plus the union-find cone tracker.
+type coneLocks struct {
+	shards  int
+	stripes []sync.Mutex
+
+	mu     sync.Mutex
+	parent []int           // union-find over CPUs; parent[c] == c at a root
+	reps   map[portKey]int // port topic → a CPU inside the topic's cone
+}
+
+// newConeLocks builds the stripe table; below two effective shards the
+// striping layer is pointless and the constructor returns nil (every
+// method tolerates a nil receiver at zero cost).
+func newConeLocks(numCPU, shards int) *coneLocks {
+	if shards > numCPU {
+		shards = numCPU
+	}
+	if shards < 2 {
+		return nil
+	}
+	cl := &coneLocks{
+		shards:  shards,
+		stripes: make([]sync.Mutex, shards),
+		parent:  make([]int, numCPU),
+		reps:    map[portKey]int{},
+	}
+	for i := range cl.parent {
+		cl.parent[i] = i
+	}
+	return cl
+}
+
+// find returns cpu's cone root, halving paths as it walks. Caller holds
+// cl.mu.
+func (cl *coneLocks) find(cpu int) int {
+	for cl.parent[cpu] != cpu {
+		cl.parent[cpu] = cl.parent[cl.parent[cpu]]
+		cpu = cl.parent[cpu]
+	}
+	return cpu
+}
+
+// unionLocked merges two cones, keeping the smaller root so stripe
+// assignment is stable under merge order. Caller holds cl.mu.
+func (cl *coneLocks) unionLocked(a, b int) {
+	ra, rb := cl.find(a), cl.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	cl.parent[rb] = ra
+}
+
+// stripeSetLocked fills t with the sorted, deduplicated stripes covering
+// cpu's cone and the cones of every listed topic; false means the set
+// overflowed the inline capacity and the caller must escalate to
+// lockAll. Caller holds cl.mu.
+func (cl *coneLocks) stripeSetLocked(cpu int, topics []portKey, t *coneToken) bool {
+	t.all, t.n = false, 0
+	add := func(s int32) bool {
+		for i := 0; i < t.n; i++ {
+			if t.s[i] == s {
+				return true
+			}
+		}
+		if t.n == maxInlineStripes {
+			return false
+		}
+		t.s[t.n] = s
+		t.n++
+		return true
+	}
+	if !add(int32(cl.find(cpu) % cl.shards)) {
+		return false
+	}
+	for _, tp := range topics {
+		rep, ok := cl.reps[tp]
+		if !ok {
+			continue // first appearance of the topic; no cone to join yet
+		}
+		if !add(int32(cl.find(rep) % cl.shards)) {
+			return false
+		}
+	}
+	// Insertion sort: the set is at most maxInlineStripes long and must
+	// be acquired in ascending order.
+	for i := 1; i < t.n; i++ {
+		for j := i; j > 0 && t.s[j] < t.s[j-1]; j-- {
+			t.s[j], t.s[j-1] = t.s[j-1], t.s[j]
+		}
+	}
+	return true
+}
+
+// observeLocked records a component's topic edges, merging the cones its
+// wiring couples. Caller holds cl.mu and the stripes covering every
+// involved cone.
+func (cl *coneLocks) observeLocked(cpu int, topics []portKey) {
+	for _, tp := range topics {
+		if rep, ok := cl.reps[tp]; ok {
+			cl.unionLocked(cpu, rep)
+		} else {
+			cl.reps[tp] = cpu
+		}
+	}
+}
+
+// lockWiring acquires, in ascending order, the stripes covering cpu's
+// cone and the cone of each topic — the ordered cross-cone lock a
+// deploy's wiring takes — then records the topic edges, merging the
+// touched cones. Because cones only grow, a stripe set computed before
+// acquisition can go stale; acquisition revalidates and retries. The
+// merged cone's root is one of the locked roots, so the returned token
+// still covers it.
+func (cl *coneLocks) lockWiring(cpu int, topics []portKey) coneToken {
+	if cl == nil {
+		return coneToken{}
+	}
+	if cpu < 0 || cpu >= len(cl.parent) {
+		// Out-of-range pin: the operation will be rejected under d.mu,
+		// but lock the table so the failure still serialises.
+		return cl.lockAll()
+	}
+	for {
+		var want coneToken
+		cl.mu.Lock()
+		ok := cl.stripeSetLocked(cpu, topics, &want)
+		cl.mu.Unlock()
+		if !ok {
+			t := cl.lockAll()
+			cl.mu.Lock()
+			cl.observeLocked(cpu, topics)
+			cl.mu.Unlock()
+			return t
+		}
+		for i := 0; i < want.n; i++ {
+			cl.stripes[want.s[i]].Lock()
+		}
+		var have coneToken
+		cl.mu.Lock()
+		if cl.stripeSetLocked(cpu, topics, &have) && have == want {
+			cl.observeLocked(cpu, topics)
+			cl.mu.Unlock()
+			return want
+		}
+		cl.mu.Unlock()
+		for i := want.n - 1; i >= 0; i-- {
+			cl.stripes[want.s[i]].Unlock()
+		}
+	}
+}
+
+// lockCone acquires the single stripe of cpu's cone, revalidating
+// against concurrent merges. A negative cpu locks the whole table.
+func (cl *coneLocks) lockCone(cpu int) coneToken {
+	if cl == nil {
+		return coneToken{}
+	}
+	if cpu < 0 || cpu >= len(cl.parent) {
+		return cl.lockAll()
+	}
+	for {
+		cl.mu.Lock()
+		s := int32(cl.find(cpu) % cl.shards)
+		cl.mu.Unlock()
+		cl.stripes[s].Lock()
+		cl.mu.Lock()
+		ok := int32(cl.find(cpu)%cl.shards) == s
+		cl.mu.Unlock()
+		if ok {
+			var t coneToken
+			t.n, t.s[0] = 1, s
+			return t
+		}
+		cl.stripes[s].Unlock()
+	}
+}
+
+// lockAll acquires every stripe in ascending order — the whole-table
+// operations (Resolve, bundle adoption/withdrawal, Close) and unknown
+// targets take this path.
+func (cl *coneLocks) lockAll() coneToken {
+	if cl == nil {
+		return coneToken{}
+	}
+	for i := range cl.stripes {
+		cl.stripes[i].Lock()
+	}
+	return coneToken{all: true}
+}
+
+// unlock releases a token's stripes in descending order.
+func (cl *coneLocks) unlock(t coneToken) {
+	if cl == nil {
+		return
+	}
+	if t.all {
+		for i := len(cl.stripes) - 1; i >= 0; i-- {
+			cl.stripes[i].Unlock()
+		}
+		return
+	}
+	for i := t.n - 1; i >= 0; i-- {
+		cl.stripes[t.s[i]].Unlock()
+	}
+}
+
+// coneOf stripes a name-keyed lifecycle operation: it locks the cone of
+// the component's CPU, or the whole table when the name is unknown (the
+// operation then fails, or a concurrent deploy raced it — either way the
+// conservative lock is correct).
+func (d *DRCR) coneOf(name string) coneToken {
+	if d.cones == nil {
+		return coneToken{}
+	}
+	d.mu.Lock()
+	cpu := -1
+	if c, ok := d.comps[name]; ok {
+		cpu = c.desc.CPU()
+	}
+	d.mu.Unlock()
+	return d.cones.lockCone(cpu)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/descriptor"
+	"repro/internal/osgi"
+	"repro/internal/rtos"
+)
+
+// coneXML renders a small periodic component pinned to a CPU with
+// optional in/out topics.
+func coneXML(name string, cpu int, usage float64, in, out string) string {
+	s := fmt.Sprintf(`<component name=%q type="periodic" cpuusage="%g">
+  <implementation bincode="cone.Body"/>
+  <periodictask frequence="100" runoncup="%d" priority="5"/>
+`, name, usage, cpu)
+	if in != "" {
+		s += fmt.Sprintf(`  <inport name=%q interface="RTAI.SHM" type="Integer" size="64"/>`+"\n", in)
+	}
+	if out != "" {
+		s += fmt.Sprintf(`  <outport name=%q interface="RTAI.SHM" type="Integer" size="64"/>`+"\n", out)
+	}
+	return s + `</component>`
+}
+
+// coneRig builds a DRCR over numCPU simulated CPUs with the given stripe
+// count (0 = unsharded reference).
+func coneRig(t *testing.T, numCPU, shards int) *DRCR {
+	t.Helper()
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{NumCPUs: numCPU, Timing: &noNoise, Seed: 11})
+	d, err := New(fw, k, Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// coneOps replays a fixed per-cone operation script: deploy a
+// provider→consumer pair on topic t<c>, then churn through disable/
+// enable, revoke/restore, and a remove/redeploy cycle. Every target
+// lives on CPU c and every topic is cone-private, so scripts on
+// different cones commute — the final state must not depend on how the
+// goroutines interleaved.
+func coneOps(t testing.TB, d *DRCR, c int) {
+	topic := fmt.Sprintf("t%d", c)
+	prov, cons := fmt.Sprintf("pv%d", c), fmt.Sprintf("cs%d", c)
+	deploy := func(name, in, out string) {
+		desc, err := descriptor.Parse(coneXML(name, c, 0.01, in, out))
+		if err != nil {
+			t.Errorf("cone %d: parse %s: %v", c, name, err)
+			return
+		}
+		if err := d.Deploy(desc); err != nil {
+			t.Errorf("cone %d: deploy %s: %v", c, name, err)
+		}
+	}
+	deploy(prov, "", topic)
+	deploy(cons, topic, "")
+	for i := 0; i < 25; i++ {
+		if err := d.Disable(prov); err != nil {
+			t.Errorf("cone %d: disable: %v", c, err)
+		}
+		if err := d.Enable(prov); err != nil {
+			t.Errorf("cone %d: enable: %v", c, err)
+		}
+		if err := d.RevokeBudget(cons, "cone churn"); err != nil {
+			t.Errorf("cone %d: revoke: %v", c, err)
+		}
+		if err := d.RestoreBudget(cons); err != nil {
+			t.Errorf("cone %d: restore: %v", c, err)
+		}
+		if i%5 == 0 {
+			if err := d.Remove(cons); err != nil {
+				t.Errorf("cone %d: remove: %v", c, err)
+			}
+			deploy(cons, topic, "")
+		}
+	}
+}
+
+// coneStateDigest folds every component's observable final state.
+func coneStateDigest(d *DRCR) string {
+	h := sha256.New()
+	for _, info := range d.Components() {
+		fmt.Fprintf(h, "%s|%v|%v|", info.Name, info.State, info.Revoked)
+		keys := make([]string, 0, len(info.Bindings))
+		for k := range info.Bindings {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(h, "%s->%s,", k, info.Bindings[k])
+		}
+		h.Write([]byte("\n"))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestConcurrentConesMatchSequential runs four independent dependency
+// cones concurrently against a striped DRCR and checks the final
+// component states equal a sequential unsharded replay — cone-striped
+// locking must not change any lifecycle outcome.
+func TestConcurrentConesMatchSequential(t *testing.T) {
+	const cones = 4
+
+	seq := coneRig(t, cones, 0)
+	for c := 0; c < cones; c++ {
+		coneOps(t, seq, c)
+	}
+	want := coneStateDigest(seq)
+
+	for _, shards := range []int{2, 4} {
+		d := coneRig(t, cones, shards)
+		var wg sync.WaitGroup
+		for c := 0; c < cones; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				coneOps(t, d, c)
+			}(c)
+		}
+		wg.Wait()
+		if got := coneStateDigest(d); got != want {
+			t.Errorf("shards=%d: final state digest %s != sequential %s", shards, got, want)
+		}
+	}
+}
+
+// TestConeMergeAndStripes pins the union-find mechanics: a topic
+// spanning two CPUs merges their cones, merges are monotone under
+// removal, and whole-table locks nest with cone locks.
+func TestConeMergeAndStripes(t *testing.T) {
+	cl := newConeLocks(4, 4)
+	if cl == nil {
+		t.Fatal("newConeLocks(4,4) = nil")
+	}
+	k1 := portKey{name: "shared", iface: descriptor.SHM}
+	tok := cl.lockWiring(0, []portKey{k1})
+	cl.unlock(tok)
+	tok = cl.lockWiring(2, []portKey{k1}) // spans cones 0 and 2 → merge
+	cl.unlock(tok)
+	cl.mu.Lock()
+	r0, r2 := cl.find(0), cl.find(2)
+	r1 := cl.find(1)
+	cl.mu.Unlock()
+	if r0 != r2 {
+		t.Errorf("cpus 0 and 2 share topic %v but cones differ: %d vs %d", k1, r0, r2)
+	}
+	if r1 == r0 {
+		t.Errorf("cpu 1 merged into cone %d without any shared topic", r0)
+	}
+	// Degenerate stripe counts: clamped to NumCPUs; below 2 disabled.
+	if cl := newConeLocks(2, 16); cl == nil || cl.shards != 2 {
+		t.Errorf("newConeLocks(2,16) want 2 stripes, got %+v", cl)
+	}
+	if cl := newConeLocks(8, 1); cl != nil {
+		t.Errorf("newConeLocks(8,1) = %+v, want nil (striping off)", cl)
+	}
+	var nilCL *coneLocks
+	nilCL.unlock(nilCL.lockAll()) // nil receiver is a no-op
+}

@@ -268,6 +268,15 @@ type Options struct {
 	// Obs is the observability plane every DRCR decision is traced into;
 	// defaults to a fresh plane at the Sampled level.
 	Obs *obs.Plane
+	// Shards stripes the lifecycle surface by dependency cone (see
+	// cones.go): operations on independent cones run concurrently, each
+	// holding its cone's stripe through mutation plus the resolution it
+	// triggers; whole-table operations (Resolve, bundle events, Close)
+	// take every stripe. 0 or 1 disables striping — the runtime mutex
+	// alone serialises, exactly the pre-sharding behaviour. With
+	// striping on, event listeners must not call lifecycle operations
+	// inline; schedule them on the kernel clock instead.
+	Shards int
 }
 
 func (o *Options) applyDefaults() {
@@ -290,7 +299,8 @@ func (o *Options) applyDefaults() {
 
 // DRCR is the declarative real-time component runtime.
 type DRCR struct {
-	mu sync.Mutex
+	mu    sync.Mutex
+	cones *coneLocks // cone-striped op locking; nil unless Options.Shards > 1
 
 	fw     *osgi.Framework
 	kernel *rtos.Kernel
@@ -389,6 +399,7 @@ func New(fw *osgi.Framework, kernel *rtos.Kernel, opts Options) (*DRCR, error) {
 		actMember:   map[string]bool{},
 		deactMember: map[string]bool{},
 	}
+	d.cones = newConeLocks(kernel.NumCPUs(), opts.Shards)
 	d.obs.BindKernel(kernel)
 	d.obs.SetLoadFunc(d.declaredLoad)
 	d.chainDirty.Store(true) // build the resolver chain on first consult
@@ -739,6 +750,8 @@ func (d *DRCR) sortedNamesLocked() []string {
 // Close detaches the DRCR from framework events and destroys every
 // component.
 func (d *DRCR) Close() {
+	t := d.cones.lockAll()
+	defer d.cones.unlock(t)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()

@@ -22,6 +22,10 @@ var (
 // Deploy registers a component descriptor directly (no bundle) and runs
 // resolution. The descriptor must already be validated by Parse.
 func (d *DRCR) Deploy(desc *descriptor.Component) error {
+	if desc != nil && d.cones != nil {
+		t := d.cones.lockWiring(desc.CPU(), portKeysOf(desc))
+		defer d.cones.unlock(t)
+	}
 	if err := d.addComponent(desc, nil); err != nil {
 		return err
 	}
@@ -32,6 +36,8 @@ func (d *DRCR) Deploy(desc *descriptor.Component) error {
 // Remove destroys a component: deactivating it (and, through resolution,
 // its dependents) and deleting its record.
 func (d *DRCR) Remove(name string) error {
+	t := d.coneOf(name)
+	defer d.cones.unlock(t)
 	d.mu.Lock()
 	c, ok := d.comps[name]
 	if !ok {
@@ -54,6 +60,8 @@ func (d *DRCR) Remove(name string) error {
 
 // Enable re-enables a disabled component (the paper's enableRTComponent).
 func (d *DRCR) Enable(name string) error {
+	t := d.coneOf(name)
+	defer d.cones.unlock(t)
 	d.mu.Lock()
 	c, ok := d.comps[name]
 	if !ok {
@@ -71,6 +79,8 @@ func (d *DRCR) Enable(name string) error {
 
 // Disable deactivates (if needed) and disables a component.
 func (d *DRCR) Disable(name string) error {
+	t := d.coneOf(name)
+	defer d.cones.unlock(t)
 	d.mu.Lock()
 	c, ok := d.comps[name]
 	if !ok {
@@ -99,6 +109,8 @@ func (d *DRCR) Disable(name string) error {
 // The contract (budget, ports) stays admitted, so dependants remain
 // satisfied; the RT task parks at its next job boundary.
 func (d *DRCR) Suspend(name string) error {
+	t := d.coneOf(name)
+	defer d.cones.unlock(t)
 	d.mu.Lock()
 	c, ok := d.comps[name]
 	if !ok {
@@ -118,6 +130,8 @@ func (d *DRCR) Suspend(name string) error {
 
 // Resume reactivates a suspended component.
 func (d *DRCR) Resume(name string) error {
+	t := d.coneOf(name)
+	defer d.cones.unlock(t)
 	d.mu.Lock()
 	c, ok := d.comps[name]
 	if !ok {
@@ -147,6 +161,8 @@ func (d *DRCR) bundleChanged(ev osgi.BundleEvent) {
 }
 
 func (d *DRCR) adoptBundle(b *osgi.Bundle) {
+	t := d.cones.lockAll()
+	defer d.cones.unlock(t)
 	m := b.Manifest()
 	if m == nil {
 		return
@@ -166,6 +182,8 @@ func (d *DRCR) adoptBundle(b *osgi.Bundle) {
 }
 
 func (d *DRCR) dropBundle(b *osgi.Bundle) {
+	t := d.cones.lockAll()
+	defer d.cones.unlock(t)
 	d.mu.Lock()
 	var names []string
 	for name, c := range d.comps {
@@ -384,6 +402,19 @@ func (d *DRCR) deactivateLocked(c *Component, reason string) {
 	c.mode = 0
 	c.promoHold = false
 	c.lastReason = reason
+}
+
+// portKeysOf lists a descriptor's port topics (in- and outports), the
+// edges that couple dependency cones.
+func portKeysOf(desc *descriptor.Component) []portKey {
+	keys := make([]portKey, 0, len(desc.InPorts)+len(desc.OutPorts))
+	for _, p := range desc.InPorts {
+		keys = append(keys, keyOf(p))
+	}
+	for _, p := range desc.OutPorts {
+		keys = append(keys, keyOf(p))
+	}
+	return keys
 }
 
 // taskSpecLocked maps a descriptor's real-time contract in service mode

@@ -39,7 +39,11 @@ import (
 // last run) and drains all pending dirty work to a fixed point.
 // Reentrant calls — e.g. service events raised while activating —
 // coalesce into an extra pass.
-func (d *DRCR) Resolve() { d.runResolve(true) }
+func (d *DRCR) Resolve() {
+	t := d.cones.lockAll()
+	defer d.cones.unlock(t)
+	d.runResolve(true)
+}
 
 // resolveDelta drains only the dirty work the calling operation staged.
 func (d *DRCR) resolveDelta() { d.runResolve(false) }

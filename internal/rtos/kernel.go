@@ -13,6 +13,7 @@ package rtos
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/rtos/ipc"
@@ -56,6 +57,17 @@ type Config struct {
 	Timing *TimingModel
 	// Policy selects the scheduling discipline; default FixedPriority.
 	Policy SchedPolicy
+	// Shards partitions the simulated CPUs across real OS threads: shard
+	// s owns the CPUs with id ≡ s (mod Shards), each with its own event
+	// clock, job pool and trace buffer, advancing in conservative
+	// lookahead windows bounded by the next control-plane event (see
+	// shard.go). 0 or 1 selects the sequential engine; values above
+	// NumCPUs are clamped to NumCPUs.
+	Shards int
+	// Lookahead bounds the width of a sharded execution window, and with
+	// it the worst-case latency of cross-shard TriggerAsync delivery.
+	// Zero selects 1ms. Ignored by the sequential engine.
+	Lookahead time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -74,13 +86,26 @@ func (c *Config) applyDefaults() {
 	if c.Mode != LightLoad && c.Mode != StressLoad {
 		c.Mode = LightLoad
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.NumCPUs {
+		c.Shards = c.NumCPUs
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = time.Millisecond
+	}
 }
 
-// Kernel is the simulated RTAI instance. It is not safe for concurrent
-// use: the simulation is single-threaded by design, like the event loop
-// of the real scheduler.
+// Kernel is the simulated RTAI instance. Its management surface is not
+// safe for concurrent use: the control plane is single-threaded by
+// design, like the event loop of the real scheduler. With Config.Shards
+// above one, Run internally executes the per-CPU schedules on parallel
+// shard clocks between control-plane barriers; the only kernel APIs a
+// task body may then touch from its shard are its own task, the IPC
+// registry (whose objects are individually locked), and TriggerAsync.
 type Kernel struct {
-	clock   *sim.Clock
+	clock   *sim.Clock // control clock; also shard 0's clock when Shards == 1
 	cfg     Config
 	mode    LoadMode
 	timing  TimingModel
@@ -93,7 +118,24 @@ type Kernel struct {
 	tracer  *Tracer
 	sink    TraceSink
 
-	freeJobs *job // recycled job structs, linked through job.nextFree
+	// Sharded-engine state (see shard.go). With one shard the window
+	// loop is bypassed entirely and Run drives k.clock directly.
+	shards     []*kshard
+	lookahead  sim.Duration
+	winRunning bool
+	winWG      sync.WaitGroup
+	mergeBuf   []TraceEvent
+
+	// xs is the cross-shard trigger exchange: requests queue under mu
+	// and are delivered, sorted by task name, at the next barrier.
+	xs struct {
+		mu        sync.Mutex
+		pending   []string
+		batch     []string
+		sent      uint64
+		delivered uint64
+		dropped   uint64
+	}
 }
 
 // NewKernel boots a kernel with the given configuration.
@@ -113,10 +155,30 @@ func NewKernel(cfg Config) *Kernel {
 	} else {
 		k.timing = TimingForMode(cfg.Mode)
 	}
+	k.lookahead = sim.Duration(cfg.Lookahead)
+	k.shards = make([]*kshard, cfg.Shards)
+	for s := range k.shards {
+		sh := &kshard{id: s}
+		if cfg.Shards == 1 {
+			// Sequential engine: one clock carries task and control
+			// events alike, byte-identical to the pre-sharding kernel.
+			sh.clk = k.clock
+		} else {
+			sh.clk = sim.NewClock()
+		}
+		sh.runFn = func() {
+			sh.runWindow()
+			k.winWG.Done()
+		}
+		k.shards[s] = sh
+	}
 	k.cpus = make([]*cpu, cfg.NumCPUs)
 	for i := range k.cpus {
 		c := &cpu{id: i}
 		c.ready.edf = cfg.Policy == EarliestDeadlineFirst
+		c.sh = k.shards[i%cfg.Shards]
+		c.clk = c.sh.clk
+		c.sh.cpus = append(c.sh.cpus, c)
 		// Bind the slice-event handlers once; the dispatcher re-arms them
 		// every slice without allocating fresh closures.
 		c.completeFn = func(at sim.Time) {
@@ -132,29 +194,13 @@ func NewKernel(cfg Config) *Kernel {
 	return k
 }
 
-// allocJob takes a job from the kernel's free list; steady-state release →
-// dispatch → complete cycles allocate nothing.
-func (k *Kernel) allocJob() *job {
-	if j := k.freeJobs; j != nil {
-		k.freeJobs = j.nextFree
-		j.nextFree = nil
-		return j
-	}
-	return &job{}
-}
-
-// recycleJob returns a finished (or withdrawn) job to the free list. The
-// caller must guarantee no live reference remains: not running, not in a
-// ready queue, and not a task's pending job.
-func (k *Kernel) recycleJob(j *job) {
-	*j = job{nextFree: k.freeJobs}
-	k.freeJobs = j
-}
-
-// Clock exposes the kernel's virtual clock.
+// Clock exposes the kernel's virtual clock — the control clock of a
+// sharded kernel. Management-plane code (guards, injectors, samplers)
+// must schedule here: control events double as the conservative barriers
+// shard clocks synchronise on.
 func (k *Kernel) Clock() *sim.Clock { return k.clock }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time of the control clock.
 func (k *Kernel) Now() sim.Time { return k.clock.Now() }
 
 // NumCPUs returns the processor count.
@@ -191,6 +237,8 @@ func (k *Kernel) CreateTask(spec TaskSpec) (*Task, error) {
 	}
 	t := &Task{
 		k:     k,
+		sh:    k.cpus[spec.CPU].sh,
+		clk:   k.cpus[spec.CPU].clk,
 		spec:  spec,
 		state: TaskCreated,
 		rng:   k.rng.Fork(),
@@ -221,13 +269,20 @@ func (k *Kernel) Tasks() []*Task {
 }
 
 // Utilization reports the summed CPU demand of active periodic tasks on
-// the given processor.
+// the given processor. The sum runs in task-name order: floating-point
+// addition is order-sensitive, and map range order would otherwise leak
+// nondeterminism into any digest or admission decision fed by it.
 func (k *Kernel) Utilization(cpuID int) float64 {
-	var u float64
-	for _, t := range k.tasks {
+	names := make([]string, 0, len(k.tasks))
+	for name, t := range k.tasks {
 		if t.spec.CPU == cpuID && t.state == TaskActive {
-			u += t.Utilization()
+			names = append(names, name)
 		}
+	}
+	sort.Strings(names)
+	var u float64
+	for _, name := range names {
+		u += k.tasks[name].Utilization()
 	}
 	return u
 }
@@ -241,12 +296,19 @@ func (k *Kernel) BusyTime(cpuID int) (time.Duration, error) {
 }
 
 // Run advances virtual time by d, executing all releases, dispatches and
-// completions that fall in the window.
+// completions that fall in the window. A sharded kernel runs its shards
+// in parallel between control-plane barriers (see shard.go).
 func (k *Kernel) Run(d time.Duration) error {
-	return k.clock.RunFor(d)
+	if len(k.shards) == 1 {
+		return k.clock.RunFor(d)
+	}
+	return k.runWindows(k.clock.Now().Add(d))
 }
 
 // RunUntil advances virtual time to the absolute instant at.
 func (k *Kernel) RunUntil(at sim.Time) error {
-	return k.clock.RunUntil(at)
+	if len(k.shards) == 1 {
+		return k.clock.RunUntil(at)
+	}
+	return k.runWindows(at)
 }

@@ -85,9 +85,13 @@ func (q *readyQueue) remove(j *job) {
 	j.queued = false
 }
 
-// cpu is one simulated processor with its own run queue.
+// cpu is one simulated processor with its own run queue. clk and sh are
+// the clock and shard the CPU's event processing runs on (the kernel's
+// own clock and single shard in the sequential engine).
 type cpu struct {
 	id         int
+	clk        *sim.Clock
+	sh         *kshard
 	ready      readyQueue
 	running    *job
 	sliceStart sim.Time
@@ -115,13 +119,13 @@ func (c *cpu) enqueue(k *Kernel, j *job, now sim.Time) {
 	}
 	if c.ready.edf {
 		if j.absDeadline < c.running.absDeadline {
-			c.preemptRunning(now)
+			c.preemptRunning(k, now)
 			c.dispatch(k, now)
 		}
 		return // no quantum rotation under EDF
 	}
 	if j.task.spec.Priority < c.running.task.spec.Priority {
-		c.preemptRunning(now)
+		c.preemptRunning(k, now)
 		c.dispatch(k, now)
 		return
 	}
@@ -143,7 +147,7 @@ func (c *cpu) dispatch(k *Kernel, now sim.Time) {
 	}
 	c.running = j
 	c.sliceStart = now
-	k.trace(now, TraceDispatch, j.task.spec.Name, c.id)
+	k.traceOn(c.sh, now, TraceDispatch, j.task.spec.Name, c.id)
 	if !j.dispatched {
 		j.dispatched = true
 		j.dispatchTime = now
@@ -167,7 +171,7 @@ func (c *cpu) dispatch(k *Kernel, now sim.Time) {
 func (c *cpu) scheduleSlice(k *Kernel, now sim.Time) {
 	j := c.running
 	complAt := now.Add(j.remaining)
-	ev, err := k.clock.Schedule(complAt, j.task.completeLabel, c.completeFn)
+	ev, err := c.clk.Schedule(complAt, j.task.completeLabel, c.completeFn)
 	if err != nil {
 		panic(err) // virtual-time scheduling cannot fail here
 	}
@@ -194,7 +198,7 @@ func (c *cpu) armQuantum(k *Kernel, now sim.Time) {
 	if at < now {
 		at = now
 	}
-	qev, err := k.clock.Schedule(at, j.task.quantumLabel, c.quantumFn)
+	qev, err := c.clk.Schedule(at, j.task.quantumLabel, c.quantumFn)
 	if err != nil {
 		panic(err)
 	}
@@ -203,12 +207,12 @@ func (c *cpu) armQuantum(k *Kernel, now sim.Time) {
 
 // preemptRunning stops the current job, accounting consumed time, and
 // returns it to the ready queue.
-func (c *cpu) preemptRunning(now sim.Time) {
+func (c *cpu) preemptRunning(k *Kernel, now sim.Time) {
 	j := c.running
 	if j == nil {
 		return
 	}
-	j.task.k.trace(now, TracePreempt, j.task.spec.Name, c.id)
+	k.traceOn(c.sh, now, TracePreempt, j.task.spec.Name, c.id)
 	elapsed := now.Sub(c.sliceStart)
 	j.remaining -= elapsed
 	if j.remaining < 0 {
@@ -240,13 +244,13 @@ func (c *cpu) rotate(k *Kernel, now sim.Time) {
 	c.cancelSliceEvents()
 	c.running = nil
 	if j.remaining > 0 {
-		k.trace(now, TraceRotate, j.task.spec.Name, c.id)
+		k.traceOn(c.sh, now, TraceRotate, j.task.spec.Name, c.id)
 		j.seq = c.nextSeq
 		c.nextSeq++
 		c.ready.push(j)
 	} else {
 		c.finishJob(k, j, now)
-		k.recycleJob(j)
+		c.sh.recycleJob(j)
 	}
 	c.dispatch(k, now)
 }
@@ -263,7 +267,7 @@ func (c *cpu) complete(k *Kernel, now sim.Time) {
 	c.running = nil
 	j.remaining = 0
 	c.finishJob(k, j, now)
-	k.recycleJob(j)
+	c.sh.recycleJob(j)
 	c.dispatch(k, now)
 }
 
@@ -272,7 +276,7 @@ func (c *cpu) finishJob(k *Kernel, j *job, now sim.Time) {
 	if t.state == TaskDeleted {
 		return
 	}
-	k.trace(now, TraceComplete, t.spec.Name, c.id)
+	k.traceOn(c.sh, now, TraceComplete, t.spec.Name, c.id)
 	t.response.Add(int64(now.Sub(j.nominal)))
 	t.jobsDone++
 	if d := t.deadline(); d > 0 && now > j.nominal.Add(d) {

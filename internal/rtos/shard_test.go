@@ -1,0 +1,220 @@
+package rtos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// buildShardWorkload populates a kernel with a deliberately tangled
+// multi-CPU schedule: per CPU two equal-priority tasks (exercising
+// quantum rotation), a higher-priority preemptor, and an aperiodic task
+// the control plane triggers on a period that beats against the task
+// periods. Execution jitter keeps release instants irregular.
+func buildShardWorkload(t testing.TB, k *Kernel) {
+	t.Helper()
+	mk := func(spec TaskSpec) *Task {
+		task, err := k.CreateTask(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := task.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return task
+	}
+	for c := 0; c < k.NumCPUs(); c++ {
+		mk(TaskSpec{Name: fmt.Sprintf("pa%d", c), Type: Periodic, CPU: c, Priority: 5,
+			Period: time.Millisecond, ExecTime: 220 * time.Microsecond, ExecJitter: 0.05})
+		mk(TaskSpec{Name: fmt.Sprintf("pb%d", c), Type: Periodic, CPU: c, Priority: 5,
+			Period: 1300 * time.Microsecond, Phase: 150 * time.Microsecond,
+			ExecTime: 340 * time.Microsecond, ExecJitter: 0.08})
+		mk(TaskSpec{Name: fmt.Sprintf("hi%d", c), Type: Periodic, CPU: c, Priority: 1,
+			Period: 700 * time.Microsecond, ExecTime: 60 * time.Microsecond, ExecJitter: 0.03})
+		mk(TaskSpec{Name: fmt.Sprintf("ap%d", c), Type: Aperiodic, CPU: c, Priority: 3,
+			ExecTime: 90 * time.Microsecond, ExecJitter: 0.04})
+	}
+	// Control-plane metronome: every 811µs trigger the next aperiodic
+	// task round-robin. Runs on the control clock in both engines.
+	i := 0
+	var fire sim.Handler
+	fire = func(now sim.Time) {
+		name := fmt.Sprintf("ap%d", i%k.NumCPUs())
+		i++
+		if task, ok := k.Task(name); ok {
+			_ = task.Trigger()
+		}
+		if _, err := k.Clock().After(811*time.Microsecond, "test:metronome", fire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Clock().After(811*time.Microsecond, "test:metronome", fire); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runShardWorkload executes the reference workload at the given shard
+// count and digests the canonical scheduler trace and per-task stats.
+func runShardWorkload(t testing.TB, shards int) (traceDigest, statsDigest string, fired uint64) {
+	t.Helper()
+	k := NewKernel(Config{NumCPUs: 8, Shards: shards, Seed: 42})
+	var evs []TraceEvent
+	k.SetTraceSink(func(at sim.Time, kind TraceEventKind, task string, cpu int) {
+		evs = append(evs, TraceEvent{At: at, Kind: kind, Task: task, CPU: cpu})
+	})
+	buildShardWorkload(t, k)
+	if err := k.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	CanonicalizeTrace(evs)
+	th := sha256.New()
+	for _, ev := range evs {
+		fmt.Fprintf(th, "%d|%d|%s|%d\n", int64(ev.At), ev.Kind, ev.Task, ev.CPU)
+	}
+	sh := sha256.New()
+	for _, task := range k.Tasks() {
+		jobs, misses, skips := task.Counters()
+		fmt.Fprintf(sh, "%s|%d|%d|%d|%d\n", task.Name(), jobs, misses, skips, task.ConsumedCPU())
+		for _, s := range task.LatencySamples() {
+			fmt.Fprintf(sh, "%d,", s)
+		}
+		sh.Write([]byte("\n"))
+	}
+	return hex.EncodeToString(th.Sum(nil)), hex.EncodeToString(sh.Sum(nil)), k.EventsFired()
+}
+
+// TestShardedDifferential pins the tentpole equivalence: the canonical
+// scheduler trace, every task's counters and latency samples, and the
+// total event count are byte-identical between the sequential engine and
+// the sharded engine at 2, 4 and 8 shards.
+func TestShardedDifferential(t *testing.T) {
+	refTrace, refStats, refFired := runShardWorkload(t, 1)
+	for _, shards := range []int{2, 4, 8} {
+		traceD, statsD, fired := runShardWorkload(t, shards)
+		if traceD != refTrace {
+			t.Errorf("shards=%d: canonical trace digest %s != sequential %s", shards, traceD, refTrace)
+		}
+		if statsD != refStats {
+			t.Errorf("shards=%d: task stats digest %s != sequential %s", shards, statsD, refStats)
+		}
+		if fired != refFired {
+			t.Errorf("shards=%d: fired %d events, sequential fired %d", shards, fired, refFired)
+		}
+	}
+}
+
+// TestShardConfig pins shard-count clamping and the CPU→shard map.
+func TestShardConfig(t *testing.T) {
+	k := NewKernel(Config{NumCPUs: 4, Shards: 16})
+	if got := k.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want clamp to NumCPUs 4", got)
+	}
+	for c := 0; c < 4; c++ {
+		if got := k.ShardOf(c); got != c%4 {
+			t.Fatalf("ShardOf(%d) = %d, want %d", c, got, c%4)
+		}
+	}
+	if k := NewKernel(Config{NumCPUs: 4}); k.Shards() != 1 {
+		t.Fatalf("default Shards = %d, want 1", k.Shards())
+	}
+}
+
+// TestTriggerAsyncConservation exercises the cross-shard trigger
+// exchange from task bodies running concurrently on 4 shards and checks
+// the conservation ledger: every request is delivered, dropped, or still
+// queued — none are lost or duplicated.
+func TestTriggerAsyncConservation(t *testing.T) {
+	k := NewKernel(Config{NumCPUs: 4, Shards: 4, Seed: 7})
+	var started []*Task
+	for c := 0; c < 4; c++ {
+		ap, err := k.CreateTask(TaskSpec{Name: fmt.Sprintf("ap%d", c), Type: Aperiodic, CPU: c,
+			Priority: 3, ExecTime: 50 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		started = append(started, ap)
+		cpu := c
+		n := 0
+		ping, err := k.CreateTask(TaskSpec{Name: fmt.Sprintf("pg%d", c), Type: Periodic, CPU: c,
+			Priority: 5, Period: time.Millisecond, ExecTime: 100 * time.Microsecond, ExecJitter: 0.05,
+			Body: func(j *JobContext) {
+				// Fan a release to the next shard's aperiodic task, plus a
+				// deliberate miss every fourth job.
+				j.Kernel.TriggerAsync(fmt.Sprintf("ap%d", (cpu+1)%4))
+				if n%4 == 0 {
+					j.Kernel.TriggerAsync("nosuch")
+				}
+				n++
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		started = append(started, ping)
+	}
+	for _, task := range started {
+		if err := task.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sent, delivered, dropped, queued := k.TriggerStats()
+	if sent != delivered+dropped+queued {
+		t.Fatalf("conservation violated: sent %d != delivered %d + dropped %d + queued %d",
+			sent, delivered, dropped, queued)
+	}
+	if queued != 0 {
+		t.Errorf("queued = %d after run completed, want 0", queued)
+	}
+	if delivered == 0 || dropped == 0 {
+		t.Errorf("want both deliveries and drops, got delivered=%d dropped=%d", delivered, dropped)
+	}
+	for c := 0; c < 4; c++ {
+		task, _ := k.Task(fmt.Sprintf("ap%d", c))
+		if jobs, _, _ := task.Counters(); jobs == 0 {
+			t.Errorf("ap%d never ran despite cross-shard triggers", c)
+		}
+	}
+}
+
+// TestShardedDispatchAllocFree guards the per-shard hot path: once pools
+// are warm, the windowed parallel engine stays within the 0.001
+// allocations-per-event budget (goroutine recycling and the window
+// machinery included).
+func TestShardedDispatchAllocFree(t *testing.T) {
+	k := NewKernel(Config{NumCPUs: 4, Shards: 2, Seed: 1})
+	for c := 0; c < 4; c++ {
+		task, err := k.CreateTask(TaskSpec{Name: fmt.Sprintf("tk%d", c), Type: Periodic, CPU: c,
+			Priority: 5, Period: time.Millisecond, ExecTime: 200 * time.Microsecond, ExecJitter: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := task.Start(); err != nil {
+			t.Fatal(err)
+		}
+		task.ReserveStats(300000)
+	}
+	if err := k.Run(time.Second); err != nil { // warm pools
+		t.Fatal(err)
+	}
+	before := k.EventsFired()
+	const runs, window = 200, 10 * time.Millisecond
+	allocs := testing.AllocsPerRun(runs, func() {
+		if err := k.Run(window); err != nil {
+			t.Fatal(err)
+		}
+	})
+	events := float64(k.EventsFired()-before) / float64(runs+1)
+	if events == 0 {
+		t.Fatal("no events fired during measurement")
+	}
+	if perEvent := allocs / events; perEvent > 0.001 {
+		t.Fatalf("sharded hot path: %.4f allocs/event (%.1f allocs per %v window, %.0f events), want <= 0.001",
+			perEvent, allocs, window, events)
+	}
+}

@@ -129,9 +129,9 @@ func (s TaskSpec) validate(numCPU int) error {
 	return nil
 }
 
-// job is one release of a task. Jobs are pooled on the kernel
-// (Kernel.allocJob/recycleJob); a finished job's struct is reused by a
-// later release.
+// job is one release of a task. Jobs are pooled per shard
+// (kshard.allocJob/recycleJob); a finished job's struct is reused by a
+// later release on the same shard.
 type job struct {
 	task         *Task
 	nominal      sim.Time
@@ -149,6 +149,8 @@ type job struct {
 // Task is a created RT task.
 type Task struct {
 	k     *Kernel
+	sh    *kshard    // shard owning the task's CPU
+	clk   *sim.Clock // the shard's clock; all task events schedule here
 	spec  TaskSpec
 	state TaskState
 
@@ -337,7 +339,7 @@ func (t *Task) Suspend() error {
 		t.k.cpus[t.spec.CPU].ready.remove(j)
 		t.pending = nil
 		if !j.queued {
-			t.k.recycleJob(j)
+			t.sh.recycleJob(j)
 		}
 	}
 	return nil
@@ -356,7 +358,7 @@ func (t *Task) Resume() error {
 	}
 	t.state = TaskActive
 	if t.spec.Type == Periodic {
-		now := t.k.clock.Now()
+		now := t.clk.Now()
 		period := sim.Time(t.spec.Period)
 		phase := sim.Time(t.spec.Phase)
 		if now > phase {
@@ -381,7 +383,7 @@ func (t *Task) Trigger() error {
 	if t.state != TaskActive {
 		return fmt.Errorf("rtos: task %s not active", t.spec.Name)
 	}
-	now := t.k.clock.Now()
+	now := t.clk.Now()
 	t.release(now, now)
 	return nil
 }
@@ -410,12 +412,12 @@ func (t *Task) Delete() error {
 func (t *Task) scheduleNextRelease() error {
 	nominal := sim.Time(t.spec.Phase) + sim.Time(t.releases)*sim.Time(t.spec.Period)
 	actual := nominal.Add(t.k.timing.SampleOffset(t.rng))
-	now := t.k.clock.Now()
+	now := t.clk.Now()
 	if actual < now {
 		actual = now
 	}
 	t.nextNominal = nominal
-	ev, err := t.k.clock.Schedule(actual, t.releaseLabel, t.releaseFn)
+	ev, err := t.clk.Schedule(actual, t.releaseLabel, t.releaseFn)
 	if err != nil {
 		return err
 	}
@@ -454,7 +456,7 @@ func (t *Task) release(now, nominal sim.Time) {
 		// Previous job still in flight: the release is skipped, the
 		// "task skipping" failure mode the paper warns about.
 		t.skips++
-		t.k.trace(now, TraceSkip, t.spec.Name, t.spec.CPU)
+		t.k.traceOn(t.sh, now, TraceSkip, t.spec.Name, t.spec.CPU)
 		return
 	}
 	exec := t.sampleExec()
@@ -462,10 +464,10 @@ func (t *Task) release(now, nominal sim.Time) {
 	if d := t.deadline(); d > 0 {
 		absDeadline = nominal.Add(d)
 	}
-	j := t.k.allocJob()
+	j := t.sh.allocJob()
 	*j = job{task: t, nominal: nominal, absDeadline: absDeadline, exec: exec, remaining: exec}
 	t.pending = j
-	t.k.trace(now, TraceRelease, t.spec.Name, t.spec.CPU)
+	t.k.traceOn(t.sh, now, TraceRelease, t.spec.Name, t.spec.CPU)
 	t.k.cpus[t.spec.CPU].enqueue(t.k, j, now)
 }
 

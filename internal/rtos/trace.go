@@ -95,6 +95,35 @@ func (k *Kernel) trace(at sim.Time, kind TraceEventKind, task string, cpuID int)
 	tr.events = append(tr.events, TraceEvent{At: at, Kind: kind, Task: task, CPU: cpuID})
 }
 
+// traceOn records one scheduler event originating on shard sh. The
+// sequential engine feeds the live sink and tracer directly; the sharded
+// engine appends to the shard's window buffer, which the next barrier
+// merges into the sink in canonical order (see Kernel.mergeWindow).
+func (k *Kernel) traceOn(sh *kshard, at sim.Time, kind TraceEventKind, task string, cpuID int) {
+	if len(k.shards) <= 1 {
+		k.trace(at, kind, task, cpuID)
+		return
+	}
+	if k.sink == nil && k.tracer == nil {
+		return
+	}
+	sh.buf = append(sh.buf, TraceEvent{At: at, Kind: kind, Task: task, CPU: cpuID})
+}
+
+// CanonicalizeTrace stable-sorts a scheduler trace into the canonical
+// (At, CPU) order, preserving each CPU's relative event order. Because
+// per-CPU schedules are engine-independent, a canonicalised sequential
+// trace equals the merged trace of a sharded run at any shard count —
+// the equivalence the differential tests pin.
+func CanonicalizeTrace(evs []TraceEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].CPU < evs[j].CPU
+	})
+}
+
 // Events returns the recorded events in order.
 func (t *Tracer) Events() []TraceEvent {
 	out := make([]TraceEvent, len(t.events))

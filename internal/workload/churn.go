@@ -39,6 +39,10 @@ type ChurnSpec struct {
 	Seed int64
 	// NumCPUs for the simulated kernel (default 4).
 	NumCPUs int
+	// Shards runs the simulated kernel and the DRCR sharded
+	// (rtos.Config.Shards / core.Options.Shards); 0 or 1 selects the
+	// sequential engines. The storm digests must not depend on it.
+	Shards int
 	// FullSweep selects the reference fixed-point engine instead of the
 	// incremental worklist engine.
 	FullSweep bool
@@ -180,8 +184,9 @@ func RunChurn(spec ChurnSpec) (ChurnStats, error) {
 
 	fw := osgi.NewFramework()
 	timing := rtos.TimingModel{}
-	k := rtos.NewKernel(rtos.Config{NumCPUs: spec.NumCPUs, Timing: &timing, Seed: uint64(spec.Seed)})
+	k := rtos.NewKernel(rtos.Config{NumCPUs: spec.NumCPUs, Timing: &timing, Seed: uint64(spec.Seed), Shards: spec.Shards})
 	d, err := core.New(fw, k, core.Options{
+		Shards:           spec.Shards,
 		FullSweepResolve: spec.FullSweep,
 		Obs:              obs.NewPlane(obs.Options{Level: spec.ObsLevel}),
 	})

@@ -101,11 +101,25 @@ type DegradeConfig struct {
 	Guard contract.Options
 	// Supervise overrides the restart-supervisor options.
 	Supervise supervise.Options
+	// NumCPUs sizes the simulated kernel (default 1).
+	NumCPUs int
+	// Shards runs the kernel and the DRCR sharded; 0 or 1 selects the
+	// sequential engines. The campaign digests must not depend on it.
+	Shards int
+	// Replicas deploys background calc/disp pairs on CPUs 1..NumCPUs-1;
+	// ignored when NumCPUs == 1.
+	Replicas int
 }
 
 func (c *DegradeConfig) applyDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.NumCPUs <= 0 {
+		c.NumCPUs = 1
+	}
+	if c.NumCPUs == 1 {
+		c.Replicas = 0
 	}
 	if c.RunFor <= 0 {
 		c.RunFor = 1200 * time.Millisecond
@@ -159,8 +173,8 @@ func RunDegradeCampaign(cfg DegradeConfig) (DegradeResult, error) {
 	cfg.applyDefaults()
 
 	fw := osgi.NewFramework()
-	k := rtos.NewKernel(rtos.Config{Seed: cfg.Seed})
-	d, err := core.New(fw, k, core.Options{})
+	k := rtos.NewKernel(rtos.Config{Seed: cfg.Seed, NumCPUs: cfg.NumCPUs, Shards: cfg.Shards})
+	d, err := core.New(fw, k, core.Options{Shards: cfg.Shards})
 	if err != nil {
 		return DegradeResult{}, err
 	}
@@ -206,6 +220,9 @@ func RunDegradeCampaign(cfg DegradeConfig) (DegradeResult, error) {
 		if err := d.Deploy(desc); err != nil {
 			return DegradeResult{}, err
 		}
+	}
+	if err := deployReplicas(d, cfg.Replicas, cfg.NumCPUs); err != nil {
+		return DegradeResult{}, err
 	}
 
 	inj, err := fault.New(d, fw)

@@ -61,6 +61,17 @@ type FaultCampaignConfig struct {
 	Campaign *fault.Campaign
 	// Guard overrides the guard options (zero value = defaults).
 	Guard contract.Options
+	// NumCPUs sizes the simulated kernel (default 1 — the paper's
+	// single-CPU scenario, byte-identical to earlier revisions).
+	NumCPUs int
+	// Shards runs the kernel and the DRCR sharded (rtos.Config.Shards /
+	// core.Options.Shards); 0 or 1 selects the sequential engines. The
+	// campaign digests must not depend on it.
+	Shards int
+	// Replicas deploys that many background calc/disp pairs spread over
+	// CPUs 1..NumCPUs-1, giving multi-CPU campaigns real per-shard
+	// scheduling work. Ignored when NumCPUs == 1.
+	Replicas int
 }
 
 func (c *FaultCampaignConfig) applyDefaults() {
@@ -69,6 +80,12 @@ func (c *FaultCampaignConfig) applyDefaults() {
 	}
 	if c.RunFor <= 0 {
 		c.RunFor = 1200 * time.Millisecond
+	}
+	if c.NumCPUs <= 0 {
+		c.NumCPUs = 1
+	}
+	if c.NumCPUs == 1 {
+		c.Replicas = 0
 	}
 }
 
@@ -125,8 +142,8 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (FaultCampaignResult, error) {
 	}
 
 	fw := osgi.NewFramework()
-	k := rtos.NewKernel(rtos.Config{Seed: cfg.Seed})
-	d, err := core.New(fw, k, core.Options{})
+	k := rtos.NewKernel(rtos.Config{Seed: cfg.Seed, NumCPUs: cfg.NumCPUs, Shards: cfg.Shards})
+	d, err := core.New(fw, k, core.Options{Shards: cfg.Shards})
 	if err != nil {
 		return FaultCampaignResult{}, err
 	}
@@ -163,6 +180,9 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (FaultCampaignResult, error) {
 		if err := d.Deploy(desc); err != nil {
 			return FaultCampaignResult{}, err
 		}
+	}
+	if err := deployReplicas(d, cfg.Replicas, cfg.NumCPUs); err != nil {
+		return FaultCampaignResult{}, err
 	}
 
 	inj, err := fault.New(d, fw)

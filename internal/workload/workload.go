@@ -49,6 +49,45 @@ const DisplayXML = `<component name="disp" desc="display scheduling latency at 4
   <property name="drcom.exectime.us" type="Integer" value="10"/>
 </component>`
 
+// replicaPairXML renders one background calc/disp replica pair pinned
+// to a CPU: the §4.2 rates and budgets under unique names with a
+// replica-private SHM topic, and an unregistered bincode, so multi-CPU
+// campaigns get real per-shard scheduling work without touching the
+// foreground scenario.
+func replicaPairXML(i, cpu int) [2]string {
+	shm := fmt.Sprintf("lt%02d", i)
+	calc := fmt.Sprintf(`<component name="ca%02d" desc="replica computing job" type="periodic" cpuusage="0.05">
+  <implementation bincode="rtai.demo.Load"/>
+  <periodictask frequence="1000" runoncup="%d" priority="1"/>
+  <outport name=%q interface="RTAI.SHM" type="Integer" size="100"/>
+  <property name="drcom.exectime.us" type="Integer" value="30"/>
+</component>`, i, cpu, shm)
+	disp := fmt.Sprintf(`<component name="di%02d" desc="replica display" type="periodic" cpuusage="0.01">
+  <implementation bincode="rtai.demo.Load"/>
+  <periodictask frequence="4" runoncup="%d" priority="2"/>
+  <inport name=%q interface="RTAI.SHM" type="Integer" size="100"/>
+  <property name="drcom.exectime.us" type="Integer" value="10"/>
+</component>`, i, cpu, shm)
+	return [2]string{calc, disp}
+}
+
+// deployReplicas spreads n replica pairs across CPUs 1..numCPU-1.
+func deployReplicas(d *core.DRCR, n, numCPU int) error {
+	for i := 0; i < n; i++ {
+		pair := replicaPairXML(i, 1+i%(numCPU-1))
+		for _, src := range pair {
+			desc, err := descriptor.Parse(src)
+			if err != nil {
+				return err
+			}
+			if err := d.Deploy(desc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // LatencyConfig parameterises one Table 1 cell pair.
 type LatencyConfig struct {
 	// Mode is the load regime (light or stress).
@@ -64,6 +103,14 @@ type LatencyConfig struct {
 	Warmup time.Duration
 	// Seed drives all randomness. Default 1.
 	Seed uint64
+	// NumCPUs and Shards size the simulated machine and its multi-core
+	// execution (both default 1, matching the paper's single-CPU
+	// testbed). The §4.2 pair is pinned to CPU 0, so extra shards
+	// parallelise only load placed on the remaining CPUs; results are
+	// byte-identical at every shard count either way. MonteCarlo fans
+	// these configs out run-level, so Shards parallelises within a run.
+	NumCPUs int
+	Shards  int
 }
 
 func (c *LatencyConfig) applyDefaults() {
@@ -112,7 +159,8 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 // runPureLatency codes the two tasks directly against the RTAI kernel, the
 // paper's "Pure RTAI user model" baseline.
 func runPureLatency(cfg LatencyConfig) (LatencyResult, error) {
-	k := rtos.NewKernel(rtos.Config{Mode: cfg.Mode, Seed: cfg.Seed})
+	k := rtos.NewKernel(rtos.Config{Mode: cfg.Mode, Seed: cfg.Seed,
+		NumCPUs: cfg.NumCPUs, Shards: cfg.Shards})
 	if err := addStressLoad(k, cfg.Mode); err != nil {
 		return LatencyResult{}, err
 	}
@@ -158,11 +206,12 @@ func runPureLatency(cfg LatencyConfig) (LatencyResult, error) {
 // rather than sharing draws sample for sample.
 func runHybridLatency(cfg LatencyConfig) (LatencyResult, error) {
 	fw := osgi.NewFramework()
-	k := rtos.NewKernel(rtos.Config{Mode: cfg.Mode, Seed: cfg.Seed ^ 0x4852_4331}) // "HRC1"
+	k := rtos.NewKernel(rtos.Config{Mode: cfg.Mode, Seed: cfg.Seed ^ 0x4852_4331, // "HRC1"
+		NumCPUs: cfg.NumCPUs, Shards: cfg.Shards})
 	if err := addStressLoad(k, cfg.Mode); err != nil {
 		return LatencyResult{}, err
 	}
-	d, err := core.New(fw, k, core.Options{Internal: policy.Utilization{}})
+	d, err := core.New(fw, k, core.Options{Internal: policy.Utilization{}, Shards: cfg.Shards})
 	if err != nil {
 		return LatencyResult{}, err
 	}
