@@ -12,6 +12,7 @@
 //	         [-obs] [-obsjson FILE] [-obssim N]
 //	         [-degrade] [-degradejson FILE]
 //	         [-shards] [-shardjson FILE] [-shardsim N]
+//	         [-cluster] [-clusterjson FILE] [-clustersim N]
 //	         [-all]
 package main
 
@@ -56,6 +57,9 @@ func main() {
 		shardsRun  = flag.Bool("shards", false, "run the shard-scaling sweep (events/sec per shard count)")
 		shardjson  = flag.String("shardjson", "", "write the shard-scaling JSON report to this file (implies -shards)")
 		shardsim   = flag.Int("shardsim", 0, "simulated seconds per shard-sweep rung (0 = default 10)")
+		clusterRun = flag.Bool("cluster", false, "run the federated cluster-scaling sweep (nodes × partition rates)")
+		clusterOut = flag.String("clusterjson", "", "write the cluster-scaling JSON report to this file (implies -cluster)")
+		clustersim = flag.Int("clustersim", 0, "simulated milliseconds per cluster-sweep rung (0 = default 500)")
 		all        = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
@@ -72,11 +76,14 @@ func main() {
 	if *shardjson != "" {
 		*shardsRun = true
 	}
+	if *clusterOut != "" {
+		*clusterRun = true
+	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade, *shardsRun = true, true, true, true, true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade, *shardsRun, *clusterRun = true, true, true, true, true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && !*shardsRun && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && !*shardsRun && !*clusterRun && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -97,6 +104,9 @@ func main() {
 	}
 	if *shardsRun {
 		runShardJSON(*shardjson, *shardsim)
+	}
+	if *clusterRun {
+		runClusterJSON(*clusterOut, *clustersim)
 	}
 	if *hist {
 		runHistograms(*samples, *seed)
@@ -344,6 +354,37 @@ func runShardJSON(path string, simSeconds int) {
 		log.Fatal(err)
 	}
 	var round bench.ShardReport
+	if err := json.Unmarshal(written, &round); err != nil {
+		log.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// runClusterJSON runs the federated cluster-scaling sweep: node counts
+// 1–16 crossed with partition rates, each rung a live producer→consumer
+// mesh whose wirings deliberately cross the simulated network. With a
+// path it writes the machine-readable BENCH_cluster.json.
+func runClusterJSON(path string, simMillis int) {
+	rep, err := bench.MeasureCluster(bench.ClusterBenchConfig{SimMillis: simMillis})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatCluster(rep))
+	if path == "" {
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var round bench.ClusterReport
 	if err := json.Unmarshal(written, &round); err != nil {
 		log.Fatalf("%s is not valid JSON: %v", path, err)
 	}

@@ -1,0 +1,234 @@
+package bench
+
+// Cluster-scaling sweep: the federated engine measured over a ladder of
+// node counts and partition rates. Each point runs the same per-node
+// producer→consumer workload (producer on node i feeds a consumer on
+// node i+1, so every wiring crosses the network), advancing all nodes
+// in lockstep conservative windows. cmd/latbench writes the committed
+// BENCH_cluster.json from this.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// ClusterPoint is one rung of the sweep.
+type ClusterPoint struct {
+	Nodes int `json:"nodes"`
+	// PartitionRate is the scheduled cuts per simulated second (each cut
+	// isolates the lower half for half the cut interval).
+	PartitionRate float64 `json:"partition_rate"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	// Events sums kernel events fired across all node kernels.
+	Events       uint64  `json:"events"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NSPerEvent   float64 `json:"ns_per_event"`
+	// Barriers is the number of lockstep windows executed.
+	Barriers uint64 `json:"barriers"`
+	// Sent/Delivered/Dropped are the network ledger totals.
+	Sent      uint64 `json:"msgs_sent"`
+	Delivered uint64 `json:"msgs_delivered"`
+	Dropped   uint64 `json:"msgs_dropped"`
+	// Converged reports whether the global view was stable at the end.
+	Converged bool `json:"converged"`
+}
+
+// ClusterReport is the machine-readable federation scaling snapshot.
+type ClusterReport struct {
+	GoVersion string `json:"go_version"`
+	// NumCPU is the real core count of the measuring machine; with
+	// SingleCoreHost true, node windows cannot actually overlap and
+	// per-node throughput is expected to fall as nodes are added.
+	NumCPU         int  `json:"num_cpu"`
+	SingleCoreHost bool `json:"single_core_host"`
+	// CPUsPerNode is the simulated processor count of each node.
+	CPUsPerNode int            `json:"cpus_per_node"`
+	Points      []ClusterPoint `json:"points"`
+}
+
+// ClusterBenchConfig sizes MeasureCluster. The zero value selects the
+// reference configuration committed as BENCH_cluster.json.
+type ClusterBenchConfig struct {
+	// SimMillis of virtual time per rung (default 500).
+	SimMillis int
+	// NodeCounts is the cluster-size ladder (default 1,2,4,8,16).
+	NodeCounts []int
+	// PartitionRates are the cut frequencies swept per node count, in
+	// cuts per simulated second (default 0 and 4).
+	PartitionRates []float64
+	// CPUsPerNode is the per-node simulated CPU count (default 1).
+	CPUsPerNode int
+	// Parallel advances node windows on real threads.
+	Parallel bool
+}
+
+func (c *ClusterBenchConfig) applyDefaults() {
+	if c.SimMillis <= 0 {
+		c.SimMillis = 500
+	}
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{1, 2, 4, 8, 16}
+	}
+	if len(c.PartitionRates) == 0 {
+		c.PartitionRates = []float64{0, 4}
+	}
+	if c.CPUsPerNode <= 0 {
+		c.CPUsPerNode = 1
+	}
+}
+
+// MeasureCluster runs the ladder.
+func MeasureCluster(cfg ClusterBenchConfig) (ClusterReport, error) {
+	cfg.applyDefaults()
+	rep := ClusterReport{
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		SingleCoreHost: runtime.NumCPU() == 1,
+		CPUsPerNode:    cfg.CPUsPerNode,
+	}
+	for _, nodes := range cfg.NodeCounts {
+		for _, rate := range cfg.PartitionRates {
+			pt, err := measureClusterPoint(nodes, rate, cfg)
+			if err != nil {
+				return ClusterReport{}, err
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep, nil
+}
+
+func measureClusterPoint(nodes int, rate float64, cfg ClusterBenchConfig) (ClusterPoint, error) {
+	c, err := cluster.New(cluster.Config{
+		Nodes:    nodes,
+		NumCPUs:  cfg.CPUsPerNode,
+		Seed:     1,
+		Parallel: cfg.Parallel,
+	})
+	if err != nil {
+		return ClusterPoint{}, err
+	}
+	defer c.Close()
+	if err := c.RegisterBody("bench.cluster.Prod", func(d *descriptor.Component) rtos.Body {
+		topic := d.OutPorts[0].Name
+		return func(j *rtos.JobContext) {
+			if shm, err := j.Kernel.IPC().SHM(topic); err == nil {
+				_ = shm.Set(int(j.Index%4), int64(j.Index))
+			}
+		}
+	}); err != nil {
+		return ClusterPoint{}, err
+	}
+	if err := c.RegisterBody("bench.cluster.Cons", func(*descriptor.Component) rtos.Body {
+		return func(*rtos.JobContext) {}
+	}); err != nil {
+		return ClusterPoint{}, err
+	}
+	for i := 0; i < nodes; i++ {
+		topic := fmt.Sprintf("b%d", i)
+		prod := fmt.Sprintf(`<component name="pr%d" desc="producer" type="periodic" cpuusage="0.05">
+  <implementation bincode="bench.cluster.Prod"/>
+  <periodictask frequence="1000" runoncup="0" priority="3"/>
+  <outport name=%q interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`, i, topic)
+		cons := fmt.Sprintf(`<component name="co%d" desc="consumer" type="periodic" cpuusage="0.05">
+  <implementation bincode="bench.cluster.Cons"/>
+  <periodictask frequence="500" runoncup="0" priority="4"/>
+  <inport name=%q interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`, i, topic)
+		if err := c.DeployXMLOn(i, prod); err != nil {
+			return ClusterPoint{}, err
+		}
+		if err := c.DeployXMLOn((i+1)%nodes, cons); err != nil {
+			return ClusterPoint{}, err
+		}
+	}
+	simFor := time.Duration(cfg.SimMillis) * time.Millisecond
+	const warmup = 50 * time.Millisecond
+	if rate > 0 && nodes > 1 {
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval > simFor {
+			interval = simFor // at least one cut even on short rungs
+		}
+		side := make([]int, nodes/2)
+		for i := range side {
+			side[i] = i
+		}
+		for at := warmup + interval/2; at < warmup+simFor; at += interval {
+			c.Net().SchedulePartition(sim.Time(0).Add(sim.Duration(at)), interval/2, side...)
+		}
+	}
+	// Warm-up outside the measurement window.
+	if err := c.Run(warmup); err != nil {
+		return ClusterPoint{}, err
+	}
+	start := eventsFired(c)
+	wallStart := time.Now()
+	if err := c.Run(simFor); err != nil {
+		return ClusterPoint{}, err
+	}
+	wall := time.Since(wallStart)
+	events := eventsFired(c) - start
+	// Unmeasured settle: convergence is judged after heartbeats and
+	// reports have had time to flow again post-heal.
+	if err := c.Run(warmup); err != nil {
+		return ClusterPoint{}, err
+	}
+	pt := ClusterPoint{
+		Nodes:         nodes,
+		PartitionRate: rate,
+		SimSeconds:    simFor.Seconds(),
+		Events:        events,
+		WallNS:        wall.Nanoseconds(),
+		Barriers:      uint64(simFor / c.Step()),
+		Converged:     c.Converged(),
+	}
+	if events > 0 {
+		pt.EventsPerSec = float64(events) / wall.Seconds()
+		pt.NSPerEvent = float64(wall.Nanoseconds()) / float64(events)
+	}
+	st := c.Net().Stats()
+	pt.Sent, pt.Delivered, pt.Dropped = st.Sent, st.Delivered, st.Dropped
+	return pt, nil
+}
+
+func eventsFired(c *cluster.Cluster) uint64 {
+	var total uint64
+	for i := 0; i < c.Nodes(); i++ {
+		total += c.Node(i).Kernel().EventsFired()
+	}
+	return total
+}
+
+// Encode renders the report the way the committed BENCH_cluster.json is
+// stored: two-space indentation, trailing newline, human-diffable.
+func (r ClusterReport) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatCluster renders the sweep as a terminal table.
+func FormatCluster(r ClusterReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster scaling — %d CPUs/node on %d real cores (%s)\n",
+		r.CPUsPerNode, r.NumCPU, r.GoVersion)
+	fmt.Fprintf(&b, "%6s %10s %14s %12s %10s %10s %10s %10s\n",
+		"nodes", "cuts/sec", "events/sec", "ns/event", "sent", "delivered", "dropped", "converged")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d %10.1f %14.0f %12.1f %10d %10d %10d %10v\n",
+			p.Nodes, p.PartitionRate, p.EventsPerSec, p.NSPerEvent, p.Sent, p.Delivered, p.Dropped, p.Converged)
+	}
+	return b.String()
+}

@@ -34,9 +34,13 @@ type ShardReport struct {
 	// NumCPU is the real core count of the measuring machine — the hard
 	// ceiling on any parallel speedup. SimCPUs is the simulated CPU
 	// count of the workload (one 1 kHz task per simulated CPU).
-	NumCPU  int          `json:"num_cpu"`
-	SimCPUs int          `json:"sim_cpus"`
-	Points  []ShardPoint `json:"points"`
+	NumCPU  int `json:"num_cpu"`
+	SimCPUs int `json:"sim_cpus"`
+	// SingleCoreHost makes the standing caveat machine-readable: on a
+	// one-core container the parallel engine cannot beat the sequential
+	// one, so speedups ≤ 1× are expected and not a regression.
+	SingleCoreHost bool         `json:"single_core_host"`
+	Points         []ShardPoint `json:"points"`
 }
 
 // ShardConfig sizes MeasureShardScaling. The zero value selects the
@@ -69,9 +73,10 @@ func (c *ShardConfig) applyDefaults() {
 func MeasureShardScaling(cfg ShardConfig) (ShardReport, error) {
 	cfg.applyDefaults()
 	rep := ShardReport{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		SimCPUs:   cfg.SimCPUs,
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		SimCPUs:        cfg.SimCPUs,
+		SingleCoreHost: runtime.NumCPU() == 1,
 	}
 	for _, n := range cfg.Counts {
 		if n > cfg.SimCPUs {

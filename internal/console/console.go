@@ -17,14 +17,17 @@ import (
 
 	drcom "repro"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/rtos"
 )
 
-// Console interprets commands against one System.
+// Console interprets commands against one System, or — in cluster mode —
+// against a federation of nodes (see NewCluster).
 type Console struct {
 	sys    *drcom.System
+	cl     *cluster.Cluster
 	out    io.Writer
 	tracer *rtos.Tracer
 	// ReadFile is stubbed in tests; defaults to os.ReadFile.
@@ -35,6 +38,18 @@ type Console struct {
 func New(sys *drcom.System, out io.Writer) *Console {
 	return &Console{sys: sys, out: out, ReadFile: os.ReadFile}
 }
+
+// NewCluster builds a console driving a federated cluster instead of a
+// single system. run/deploy/remove route through the cluster's leader;
+// nodes, links and migrate expose the federation; single-node
+// diagnostics (spans, gantt, …) are unavailable.
+func NewCluster(cl *cluster.Cluster, out io.Writer) *Console {
+	return &Console{cl: cl, out: out, ReadFile: os.ReadFile}
+}
+
+// AttachCluster adds a cluster to an existing single-system console,
+// enabling the nodes/links/migrate commands alongside it.
+func (c *Console) AttachCluster(cl *cluster.Cluster) { c.cl = cl }
 
 // Run interprets commands from in until EOF or the quit command. Blank
 // lines and #-comments are skipped. Errors are reported to the output
@@ -62,6 +77,14 @@ func (c *Console) Exec(line string) (quit bool) {
 	}
 	cmd, args := fields[0], fields[1:]
 	var err error
+	if c.sys == nil {
+		switch cmd {
+		case "help", "quit", "exit", "run", "deploy", "remove", "nodes", "links", "migrate":
+		default:
+			fmt.Fprintf(c.out, "error: %q needs a single-node system; this console drives a cluster (try nodes, links, migrate)\n", cmd)
+			return false
+		}
+	}
 	switch cmd {
 	case "help":
 		c.printHelp()
@@ -107,6 +130,12 @@ func (c *Console) Exec(line string) (quit bool) {
 		err = c.traceCmd(args)
 	case "gantt":
 		err = c.gantt(args)
+	case "nodes":
+		err = c.nodesCmd()
+	case "links":
+		err = c.linksCmd()
+	case "migrate":
+		err = c.migrateCmd(args)
 	default:
 		err = fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -138,11 +167,17 @@ func (c *Console) printHelp() {
   set <name> <key> <val>  set a component property (async)
   trace on|off            attach/detach the scheduler tracer
   gantt <duration>        run + render a scheduler Gantt chart
+  nodes                   cluster global view (leader, reports, placements)
+  links                   network ledger and per-pair partition status
+  migrate <name> <node>   move a component to an explicit node
   quit                    end the session
 `)
 }
 
 func (c *Console) deploy(args []string) error {
+	if c.sys == nil {
+		return c.deployCluster(args)
+	}
 	if len(args) != 1 {
 		return fmt.Errorf("usage: deploy <file.xml>")
 	}
@@ -157,11 +192,47 @@ func (c *Console) deploy(args []string) error {
 	return nil
 }
 
+// deployCluster routes a descriptor through the cluster: with an explicit
+// node argument it pins the placement, otherwise the leader picks the
+// node with the most headroom.
+func (c *Console) deployCluster(args []string) error {
+	if len(args) != 1 && len(args) != 2 {
+		return fmt.Errorf("usage: deploy <file.xml> [node]")
+	}
+	data, err := c.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if len(args) == 2 {
+		node, err := parseNodeID(args[1], c.cl.Nodes())
+		if err != nil {
+			return err
+		}
+		if err := c.cl.DeployXMLOn(node, string(data)); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "deployed %s on n%d\n", args[0], node)
+		return nil
+	}
+	if err := c.cl.DeployXML(string(data)); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "deployed %s (leader-placed)\n", args[0])
+	return nil
+}
+
 func (c *Console) lifecycle(cmd string, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: %s <component>", cmd)
 	}
 	name := args[0]
+	if c.sys == nil { // cluster mode: only remove routes through the catalog
+		if err := c.cl.Remove(name); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "%s removed from the cluster\n", name)
+		return nil
+	}
 	var err error
 	switch cmd {
 	case "remove":
@@ -190,6 +261,13 @@ func (c *Console) run(args []string) error {
 	d, err := time.ParseDuration(args[0])
 	if err != nil {
 		return err
+	}
+	if c.sys == nil {
+		if err := c.cl.Run(d); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "now %v\n", time.Duration(c.cl.Now()))
+		return nil
 	}
 	if err := c.sys.Run(d); err != nil {
 		return err
@@ -273,11 +351,30 @@ func (c *Console) list() {
 	fmt.Fprintf(c.out, "%-8s %-11s %-9s %4s %4s %7s %4s  %s\n",
 		"name", "state", "kind", "cpu", "prio", "budget", "imp", "bindings")
 	for _, info := range infos {
-		fmt.Fprintf(c.out, "%-8s %-11v %-9s %4d %4d %6.0f%% %4d  %v\n",
+		fmt.Fprintf(c.out, "%-8s %-11v %-9s %4d %4d %6.0f%% %4d  %s\n",
 			info.Name, info.State, info.Kind, info.CPU, info.Priority,
-			info.CPUUsage*100, info.Importance, info.Bindings)
+			info.CPUUsage*100, info.Importance, formatBindings(info.Bindings))
 	}
 	fmt.Fprintf(c.out, "%d components\n", len(infos))
+}
+
+// formatBindings renders a binding map in explicit port-name order; the
+// render feeds scripted session transcripts (and, through them, pinned
+// digests), so the order must not lean on fmt's map formatting.
+func formatBindings(b map[string]string) string {
+	if len(b) == 0 {
+		return "-"
+	}
+	ports := make([]string, 0, len(b))
+	for port := range b {
+		ports = append(ports, port)
+	}
+	sort.Strings(ports)
+	parts := make([]string, 0, len(ports))
+	for _, port := range ports {
+		parts = append(parts, port+"<-"+b[port])
+	}
+	return strings.Join(parts, " ")
 }
 
 // / events prints the unified decision timeline: every retained span from
@@ -480,5 +577,98 @@ func (c *Console) gantt(args []string) error {
 		c.sys.Kernel().StopTrace()
 	}
 	fmt.Fprint(c.out, tracer.Gantt(from, c.sys.Now(), 96))
+	return nil
+}
+
+// parseNodeID accepts "3" or "n3".
+func parseNodeID(s string, nodes int) (int, error) {
+	id, err := strconv.Atoi(strings.TrimPrefix(s, "n"))
+	if err != nil || id < 0 || id >= nodes {
+		return 0, fmt.Errorf("no node %q (cluster has n0..n%d)", s, nodes-1)
+	}
+	return id, nil
+}
+
+// nodesCmd prints the global view: one row per node with its leader
+// belief, reachable peers and the leader's freshest report, then the
+// placement catalog. All map walks render in explicit sorted order.
+func (c *Console) nodesCmd() error {
+	if c.cl == nil {
+		return fmt.Errorf("no cluster attached")
+	}
+	v := c.cl.GlobalView()
+	fmt.Fprintf(c.out, "leader n%d\n", v.Leader)
+	fmt.Fprintf(c.out, "%-5s %-7s %-12s %6s %9s  %s\n",
+		"node", "leader", "reachable", "load", "admitted", "components")
+	for _, n := range v.Nodes {
+		reach := make([]string, 0, len(n.Reachable))
+		for _, id := range n.Reachable {
+			reach = append(reach, fmt.Sprintf("n%d", id))
+		}
+		names := make([]string, 0, len(n.Comps))
+		for name := range n.Comps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		comps := make([]string, 0, len(names))
+		for _, name := range names {
+			comps = append(comps, fmt.Sprintf("%s/m%d", name, n.Comps[name]))
+		}
+		fmt.Fprintf(c.out, "n%-4d n%-6d %-12s %5.0f%% %9d  %s\n",
+			n.ID, n.Leader, strings.Join(reach, ","), n.Load*100, n.Admitted,
+			strings.Join(comps, " "))
+	}
+	names := make([]string, 0, len(v.Placements))
+	for name := range v.Placements {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(c.out, "placed %s -> n%d\n", name, v.Placements[name])
+	}
+	fmt.Fprintf(c.out, "converged %v\n", c.cl.Converged())
+	return nil
+}
+
+// linksCmd prints the network conservation ledger and the current cut
+// status of every node pair.
+func (c *Console) linksCmd() error {
+	if c.cl == nil {
+		return fmt.Errorf("no cluster attached")
+	}
+	st := c.cl.Net().Stats()
+	fmt.Fprintf(c.out, "net: sent %d dup %d delivered %d dropped %d (partition %d, loss %d) inflight %d\n",
+		st.Sent, st.Duplicated, st.Delivered, st.Dropped, st.PartitionDrops, st.LossDrops, st.Inflight)
+	cut := 0
+	for a := 0; a < c.cl.Nodes(); a++ {
+		for b := a + 1; b < c.cl.Nodes(); b++ {
+			if c.cl.Net().Partitioned(a, b) {
+				fmt.Fprintf(c.out, "link n%d<->n%d: CUT\n", a, b)
+				cut++
+			}
+		}
+	}
+	if cut == 0 {
+		fmt.Fprintf(c.out, "all %d links up\n", c.cl.Nodes()*(c.cl.Nodes()-1)/2)
+	}
+	return nil
+}
+
+// migrateCmd moves a component to an explicit node.
+func (c *Console) migrateCmd(args []string) error {
+	if c.cl == nil {
+		return fmt.Errorf("no cluster attached")
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: migrate <component> <node>")
+	}
+	dst, err := parseNodeID(args[1], c.cl.Nodes())
+	if err != nil {
+		return err
+	}
+	if err := c.cl.Migrate(args[0], dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%s -> n%d\n", args[0], dst)
 	return nil
 }

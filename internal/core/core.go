@@ -334,6 +334,13 @@ type DRCR struct {
 	provIndex map[portKey][]portProv
 	consIndex map[portKey][]string
 
+	// remoteProv / remoteCons are the federation indexes (remote.go):
+	// topics provided by admitted components on other cluster nodes
+	// (consulted by both resolve engines after the local admitted set)
+	// and topics components here export to other nodes.
+	remoteProv map[portKey][]remoteEntry
+	remoteCons map[portKey][]string
+
 	// viewEpoch counts admitted-set membership changes; viewSnap is the
 	// immutable snapshot shared by every consult at that epoch.
 	viewEpoch     uint64

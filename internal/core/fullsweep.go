@@ -162,5 +162,7 @@ func (d *DRCR) findProviderScanLocked(self string, in descriptor.Port) string {
 			}
 		}
 	}
-	return ""
+	// Same remote fallback as the worklist engine (shared helper), so the
+	// two engines keep making identical provider choices.
+	return d.remoteProviderLocked(in)
 }

@@ -572,5 +572,7 @@ func (d *DRCR) findProviderIndexLocked(self string, in descriptor.Port) string {
 			return p.name
 		}
 	}
-	return ""
+	// No local provider: a remote provision (replicated over the cluster
+	// network) satisfies the functional constraint too.
+	return d.remoteProviderLocked(in)
 }

@@ -99,6 +99,15 @@ const (
 	KindUpgrade
 	KindRestart
 	KindEscalate
+	// Federation kinds (package cluster): cross-node message traffic,
+	// placement and migration decisions, and network topology changes.
+	KindSend
+	KindRecv
+	KindMigrate
+	KindPartition
+	KindHeal
+	KindPlace
+	KindNodeLoss
 )
 
 // kindNames is the static name table; String must stay allocation-free
@@ -120,6 +129,13 @@ var kindNames = [...]string{
 	KindUpgrade:      "upgrade",
 	KindRestart:      "restart",
 	KindEscalate:     "escalate",
+	KindSend:         "send",
+	KindRecv:         "recv",
+	KindMigrate:      "migrate",
+	KindPartition:    "partition",
+	KindHeal:         "heal",
+	KindPlace:        "place",
+	KindNodeLoss:     "node-loss",
 }
 
 func (k Kind) String() string {
@@ -250,6 +266,13 @@ type counters struct {
 	upgrades      uint64
 	restarts      uint64
 	escalations   uint64
+	sends         uint64
+	recvs         uint64
+	migrations    uint64
+	partitions    uint64
+	heals         uint64
+	placements    uint64
+	nodeLosses    uint64
 }
 
 // compCounters are the per-component metric accumulators.
@@ -584,6 +607,73 @@ func (p *Plane) Escalate(at sim.Time, component, target, reason string, cause Sp
 	}
 	p.c.escalations++
 	return p.emit(Span{At: at, Kind: KindEscalate, Cause: cause, Component: component, To: target, Detail: reason})
+}
+
+// Send traces one cross-node control message leaving a node. component
+// names the subject (a component or topic), from/to carry the node names.
+func (p *Plane) Send(at sim.Time, component, fromNode, toNode, detail string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.sends++
+	return p.emit(Span{At: at, Kind: KindSend, Cause: cause, Component: component, From: fromNode, To: toNode, Detail: detail})
+}
+
+// Recv traces a cross-node control message arriving; its cause is the
+// matching Send span, so Why-chains span the network hop.
+func (p *Plane) Recv(at sim.Time, component, fromNode, toNode, detail string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.recvs++
+	return p.emit(Span{At: at, Kind: KindRecv, Cause: cause, Component: component, From: fromNode, To: toNode, Detail: detail})
+}
+
+// Migrate traces a component moving between nodes.
+func (p *Plane) Migrate(at sim.Time, component, fromNode, toNode, reason string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.migrations++
+	p.comp(component).transitions++
+	return p.emit(Span{At: at, Kind: KindMigrate, Cause: cause, Component: component, From: fromNode, To: toNode, Detail: reason})
+}
+
+// Partition traces a network partition opening; component names the cut.
+func (p *Plane) Partition(at sim.Time, cut, detail string) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.partitions++
+	return p.emit(Span{At: at, Kind: KindPartition, Component: cut, Detail: detail})
+}
+
+// Heal traces a partition healing; its cause is the Partition span.
+func (p *Plane) Heal(at sim.Time, cut, detail string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.heals++
+	return p.emit(Span{At: at, Kind: KindHeal, Cause: cause, Component: cut, Detail: detail})
+}
+
+// Place traces a cluster-admission placement decision.
+func (p *Plane) Place(at sim.Time, component, node, reason string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.placements++
+	return p.emit(Span{At: at, Kind: KindPlace, Cause: cause, Component: component, To: node, Detail: reason})
+}
+
+// NodeLoss traces a failure detector declaring a node lost; n is the
+// number of placements stranded on it.
+func (p *Plane) NodeLoss(at sim.Time, node string, n int64, detail string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.nodeLosses++
+	return p.emit(Span{At: at, Kind: KindNodeLoss, Cause: cause, Component: node, N: n, Detail: detail})
 }
 
 // NoteDrain counts one worklist drain (one Resolve entry).

@@ -30,6 +30,7 @@ type Snapshot struct {
 	Contract   ContractStats   `json:"contract"`
 	Degrade    DegradeStats    `json:"degrade"`
 	Supervise  SuperviseStats  `json:"supervise"`
+	Cluster    ClusterStats    `json:"cluster"`
 	Fault      FaultStats      `json:"fault"`
 	Sched      SchedStats      `json:"sched"`
 	CPUs       []CPUStat       `json:"cpus,omitempty"`
@@ -79,6 +80,17 @@ type DegradeStats struct {
 type SuperviseStats struct {
 	Restarts    uint64 `json:"restarts"`
 	Escalations uint64 `json:"escalations"`
+}
+
+// ClusterStats count federation decisions (zero on single-node planes).
+type ClusterStats struct {
+	Sends      uint64 `json:"sends"`
+	Recvs      uint64 `json:"recvs"`
+	Migrations uint64 `json:"migrations"`
+	Partitions uint64 `json:"partitions"`
+	Heals      uint64 `json:"heals"`
+	Placements uint64 `json:"placements"`
+	NodeLosses uint64 `json:"node_losses"`
 }
 
 // FaultStats count injector activity.
@@ -166,6 +178,15 @@ func (p *Plane) Snapshot() Snapshot {
 		Supervise: SuperviseStats{
 			Restarts:    p.c.restarts,
 			Escalations: p.c.escalations,
+		},
+		Cluster: ClusterStats{
+			Sends:      p.c.sends,
+			Recvs:      p.c.recvs,
+			Migrations: p.c.migrations,
+			Partitions: p.c.partitions,
+			Heals:      p.c.heals,
+			Placements: p.c.placements,
+			NodeLosses: p.c.nodeLosses,
 		},
 		Fault: FaultStats{
 			Injections: p.c.faultInjects,
@@ -268,6 +289,11 @@ func (s Snapshot) Format() string {
 	if s.Supervise.Restarts > 0 || s.Supervise.Escalations > 0 {
 		fmt.Fprintf(&b, "  supervise: %d restarts, %d escalations\n",
 			s.Supervise.Restarts, s.Supervise.Escalations)
+	}
+	if s.Cluster.Sends > 0 || s.Cluster.Recvs > 0 || s.Cluster.Partitions > 0 {
+		fmt.Fprintf(&b, "  cluster:   %d sends, %d recvs, %d migrations, %d partitions, %d heals, %d placements, %d node losses\n",
+			s.Cluster.Sends, s.Cluster.Recvs, s.Cluster.Migrations,
+			s.Cluster.Partitions, s.Cluster.Heals, s.Cluster.Placements, s.Cluster.NodeLosses)
 	}
 	fmt.Fprintf(&b, "  fault:     %d injected, %d cleared, %d reapplied\n",
 		s.Fault.Injections, s.Fault.Clears, s.Fault.Reapplies)

@@ -272,6 +272,20 @@ func (k *Kernel) deliverTriggers() {
 	k.xs.batch = batch[:0]
 }
 
+// NoteDroppedTrigger records a trigger request that was lost before
+// reaching the kernel — a release intent dropped by an external delivery
+// fabric (a partitioned or lossy simulated network link) rather than by
+// shard backpressure or a missing target. It counts as sent and dropped,
+// so the conservation ledger still balances over the sender's intents:
+// sent == delivered + dropped + queued regardless of where the loss
+// happened. Safe from any goroutine, like TriggerAsync.
+func (k *Kernel) NoteDroppedTrigger() {
+	k.xs.mu.Lock()
+	k.xs.sent++
+	k.xs.dropped++
+	k.xs.mu.Unlock()
+}
+
 // TriggerStats reports the cross-shard trigger conservation ledger:
 // every request is eventually delivered, dropped, or still queued for
 // the next barrier — sent == delivered + dropped + queued always holds
