@@ -13,6 +13,7 @@
 //	         [-degrade] [-degradejson FILE]
 //	         [-shards] [-shardjson FILE] [-shardsim N]
 //	         [-cluster] [-clusterjson FILE] [-clustersim N]
+//	         [-plan] [-planjson FILE] [-plansizes N,N,...]
 //	         [-all]
 package main
 
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -60,9 +62,17 @@ func main() {
 		clusterRun = flag.Bool("cluster", false, "run the federated cluster-scaling sweep (nodes × partition rates)")
 		clusterOut = flag.String("clusterjson", "", "write the cluster-scaling JSON report to this file (implies -cluster)")
 		clustersim = flag.Int("clustersim", 0, "simulated milliseconds per cluster-sweep rung (0 = default 500)")
+		planRun    = flag.Bool("plan", false, "run the whole-bundle deploy benchmark (event path vs compiled plan)")
+		planjson   = flag.String("planjson", "", "write the plan-deploy JSON report to this file (implies -plan)")
+		plansizes  = flag.String("plansizes", "100,1000,5000", "comma-separated component-population sizes for -plan")
 		all        = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
+	if runtime.NumCPU() == 1 {
+		fmt.Fprintln(os.Stderr, "WARNING: single-core host (num_cpu=1): wall-clock rows land in the JSON"+
+			" reports as single_core_host=true and must not be compared against multi-core baselines"+
+			" (see the BENCH_shard.json caveat in README.md)")
+	}
 	perf := *benchjson != ""
 	if *churnjson != "" {
 		*churn = true
@@ -79,11 +89,14 @@ func main() {
 	if *clusterOut != "" {
 		*clusterRun = true
 	}
+	if *planjson != "" {
+		*planRun = true
+	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade, *shardsRun, *clusterRun = true, true, true, true, true, true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade, *shardsRun, *clusterRun, *planRun = true, true, true, true, true, true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && !*shardsRun && !*clusterRun && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && !*shardsRun && !*clusterRun && !*planRun && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -107,6 +120,9 @@ func main() {
 	}
 	if *clusterRun {
 		runClusterJSON(*clusterOut, *clustersim)
+	}
+	if *planRun {
+		runPlanJSON(*planjson, *plansizes, *seed)
 	}
 	if *hist {
 		runHistograms(*samples, *seed)
@@ -389,6 +405,57 @@ func runClusterJSON(path string, simMillis int) {
 		log.Fatalf("%s is not valid JSON: %v", path, err)
 	}
 	fmt.Printf("wrote %s\n", path)
+}
+
+// runPlanJSON runs the whole-bundle deploy comparison: per-descriptor
+// event-path deploys versus one compiled composition plan (cold and
+// cache-warm), with the plan applies differential-checked against the
+// batched event path. With a path it writes the machine-readable
+// BENCH_plan.json, then reads it back and validates it — the CI smoke
+// depends on the written file being well-formed.
+func runPlanJSON(path, sizesCSV string, seed uint64) {
+	var sizes []int
+	for _, f := range strings.Split(sizesCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			log.Fatalf("-plansizes: bad size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	rep, err := bench.MeasurePlan(bench.PlanConfig{Sizes: sizes, Seed: int64(seed)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatPlan(rep))
+	if err := rep.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if path == "" {
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var round bench.PlanReport
+	if err := json.Unmarshal(written, &round); err != nil {
+		log.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if err := round.Validate(); err != nil {
+		log.Fatalf("%s failed validation after round trip: %v", path, err)
+	}
+	fmt.Printf("wrote %s (validated)\n", path)
 }
 
 // runFaults renders Ablation E: the standard fault campaign with the

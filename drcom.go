@@ -17,6 +17,7 @@ package drcom
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/adl"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/manifest"
 	"repro/internal/obs"
 	"repro/internal/osgi"
+	"repro/internal/plan"
 	"repro/internal/policy"
 	"repro/internal/rtos"
 	"repro/internal/sim"
@@ -60,6 +62,18 @@ type (
 	Span = obs.Span
 	// MetricsSnapshot is the stable-ordered metrics export.
 	MetricsSnapshot = obs.Snapshot
+
+	// Plan is a compiled, pre-validated composition plan (typed port
+	// checks, wiring table, activation schedule, admission deltas).
+	Plan = plan.Plan
+	// PlanRejectError aggregates the typed port conflicts that made a
+	// bundle impossible to compose; DeployBundle returns it before
+	// anything is installed.
+	PlanRejectError = plan.RejectError
+	// PortIncompatibility names one conflicting port pair and why the
+	// provider cannot satisfy the consumer (version range vs. structural
+	// datatype mismatch).
+	PortIncompatibility = plan.PortIncompatibility
 
 	// Built-in resolving services, re-exported for convenience.
 	Utilization = policy.Utilization
@@ -175,7 +189,16 @@ func (s *System) DeployXML(src string) error {
 
 // DeployBundle installs and starts a bundle carrying the given DRCom
 // descriptors (resource path → XML), the way the paper's components are
-// "delivered as individual bundles".
+// "delivered as individual bundles". Resources are installed in sorted
+// path order, so the deploy is deterministic regardless of map order.
+//
+// Before anything is installed, the descriptor set is compiled into a
+// composition plan: a typed port conflict — a provider speaks a
+// consumer's topic but fails its version range or structural datatype —
+// rejects the whole bundle with a *PlanRejectError naming the exact
+// port pair, instead of installing components doomed to wait or be
+// denied. The compiled plan is cached, so the bundle start that follows
+// fast-applies it without recompiling.
 func (s *System) DeployBundle(symbolicName, version string, descriptors map[string]string) (*osgi.Bundle, error) {
 	if len(descriptors) == 0 {
 		return nil, errors.New("drcom: bundle needs at least one descriptor")
@@ -184,14 +207,29 @@ func (s *System) DeployBundle(symbolicName, version string, descriptors map[stri
 	if err != nil {
 		return nil, fmt.Errorf("drcom: %w", err)
 	}
+	paths := make([]string, 0, len(descriptors))
+	for path := range descriptors {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
 	m := manifest.New(symbolicName, v)
 	resources := map[string]string{}
-	for path, src := range descriptors {
+	var descs []*descriptor.Component
+	for _, path := range paths {
+		src := descriptors[path]
 		if err := descriptor.Sniff(src); err != nil {
 			return nil, fmt.Errorf("drcom: resource %s: %w", path, err)
 		}
 		m.DRComComponents = append(m.DRComComponents, path)
 		resources[path] = src
+		if desc, err := descriptor.Parse(src); err == nil {
+			descs = append(descs, desc) // malformed ones are skipped at adoption
+		}
+	}
+	if len(descs) > 0 {
+		if _, err := s.drcr.CompilePlan(descs); err != nil {
+			return nil, err
+		}
 	}
 	b, err := s.fw.Install(osgi.Definition{Manifest: m, Resources: resources})
 	if err != nil {
@@ -201,6 +239,18 @@ func (s *System) DeployBundle(symbolicName, version string, descriptors map[stri
 		return nil, err
 	}
 	return b, nil
+}
+
+// CompilePlan compiles (or fetches from the plan cache) the composition
+// plan for a set of descriptor sources in the given order, against the
+// system's current admitted view — what the console's `plan` command
+// renders. A typed port conflict returns a *PlanRejectError.
+func (s *System) CompilePlan(srcs []string) (*Plan, error) {
+	descs, err := descriptor.ParseAll(srcs)
+	if err != nil {
+		return nil, err
+	}
+	return s.drcr.CompilePlan(descs)
 }
 
 // DeployApplication parses an ADL application document plus the component

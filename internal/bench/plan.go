@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Whole-bundle deploy benchmark: the same composition DAG deployed as N
+// event-path deploys, as one batched event-path drain, and as a
+// compiled plan (cold and cache-warm). Every row doubles as a
+// differential test — the plan applies must reproduce the batched event
+// path bit for bit, or the speedup is meaningless.
+
+// PlanConfig sizes MeasurePlan. The zero value selects the reference
+// configuration the committed BENCH_plan.json baseline uses.
+type PlanConfig struct {
+	// Sizes are the component-population sizes (default 100, 1000, 5000).
+	Sizes []int
+	// Seed for the simulated kernels (default 1).
+	Seed int64
+	// FanOut consumers per relay topic (default 3).
+	FanOut int
+	// Reps repeats each comparison, keeping the minimum wall per strategy
+	// (default 3) — scheduler preemption and GC only ever add time, so the
+	// minimum is the noise-robust estimator on a contended host. Parity
+	// checks must hold on every rep.
+	Reps int
+}
+
+func (c *PlanConfig) applyDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{100, 1000, 5000}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = 3
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+}
+
+// PlanRow compares the deploy strategies at one population size.
+type PlanRow struct {
+	Components int `json:"components"`
+	// PerDescriptorNS times N event-path Deploy calls (the legacy loop).
+	PerDescriptorNS int64 `json:"per_descriptor_ns"`
+	// EventBatchNS times one DeployAll with the fast path disabled.
+	EventBatchNS int64 `json:"event_batch_ns"`
+	// PlanColdNS times compile + apply on an empty cache.
+	PlanColdNS int64 `json:"plan_cold_ns"`
+	// PlanWarmNS times the pure apply path against a warm cache — what
+	// a redeploy or a cluster migration target pays.
+	PlanWarmNS int64 `json:"plan_warm_ns"`
+	// Speedup is per-descriptor wall over warm plan-apply wall: the
+	// headline O(N·rounds) → O(plan) ratio.
+	Speedup float64 `json:"speedup"`
+	// BatchSpeedup is the batched event path over warm plan-apply.
+	BatchSpeedup float64 `json:"batch_speedup"`
+	// DigestMatch confirms event trace, obs stream (span IDs and causes
+	// included), and final states agree between the batched event path
+	// and both plan applies.
+	DigestMatch bool `json:"digest_match"`
+	// StateMatch confirms the per-descriptor loop converged to the same
+	// final states.
+	StateMatch bool `json:"state_match"`
+	// PlanApplied / CacheHit confirm the fast path really ran and the
+	// warm run really hit the cache.
+	PlanApplied bool `json:"plan_applied"`
+	CacheHit    bool `json:"cache_hit"`
+}
+
+// PlanReport is the machine-readable snapshot cmd/latbench writes to
+// BENCH_plan.json, committed alongside BENCH_resolve.json.
+type PlanReport struct {
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// SingleCoreHost carries the standing BENCH_shard.json caveat:
+	// wall-clock numbers from a one-core container compress real
+	// parallelism and should not be compared against multi-core runs.
+	SingleCoreHost bool      `json:"single_core_host"`
+	Seed           int64     `json:"seed"`
+	FanOut         int       `json:"fan_out"`
+	Reps           int       `json:"reps"`
+	Rows           []PlanRow `json:"rows"`
+}
+
+// MeasurePlan runs the whole-bundle deploy comparison at every size.
+func MeasurePlan(cfg PlanConfig) (PlanReport, error) {
+	cfg.applyDefaults()
+	rep := PlanReport{
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		SingleCoreHost: runtime.NumCPU() == 1,
+		Seed:           cfg.Seed,
+		FanOut:         cfg.FanOut,
+		Reps:           cfg.Reps,
+	}
+	for _, n := range cfg.Sizes {
+		st, err := workload.RunPlanDeploy(workload.PlanDeploySpec{
+			Components: n, FanOut: cfg.FanOut, Seed: cfg.Seed, Reps: cfg.Reps,
+		})
+		if err != nil {
+			return PlanReport{}, fmt.Errorf("bench: plan deploy N=%d: %w", n, err)
+		}
+		row := PlanRow{
+			Components:      st.Components,
+			PerDescriptorNS: st.PerDescriptorWall.Nanoseconds(),
+			EventBatchNS:    st.EventBatchWall.Nanoseconds(),
+			PlanColdNS:      st.PlanColdWall.Nanoseconds(),
+			PlanWarmNS:      st.PlanWarmWall.Nanoseconds(),
+			DigestMatch:     st.DigestMatch,
+			StateMatch:      st.StateMatch,
+			PlanApplied:     st.PlanApplied,
+			CacheHit:        st.CacheHit,
+		}
+		if row.PlanWarmNS > 0 {
+			row.Speedup = float64(row.PerDescriptorNS) / float64(row.PlanWarmNS)
+			row.BatchSpeedup = float64(row.EventBatchNS) / float64(row.PlanWarmNS)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Validate rejects a report whose rows are not self-consistent: every
+// row must have plan-applied with matching digests, or the walls are
+// timing two different behaviours.
+func (r PlanReport) Validate() error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("bench: plan report has no rows")
+	}
+	for _, row := range r.Rows {
+		if !row.DigestMatch {
+			return fmt.Errorf("bench: plan apply diverged from the event path at N=%d", row.Components)
+		}
+		if !row.StateMatch {
+			return fmt.Errorf("bench: per-descriptor deploys converged differently at N=%d", row.Components)
+		}
+		if !row.PlanApplied || !row.CacheHit {
+			return fmt.Errorf("bench: plan fast path fell back at N=%d", row.Components)
+		}
+	}
+	return nil
+}
+
+// Encode renders the report the way the committed BENCH_plan.json is
+// stored: two-space indentation, trailing newline, human-diffable.
+func (r PlanReport) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatPlan renders the report for terminal output alongside the JSON.
+func FormatPlan(r PlanReport) string {
+	var b strings.Builder
+	b.WriteString("Whole-bundle deploy — event path vs compiled plan\n")
+	fmt.Fprintf(&b, "%10s %12s %12s %12s %12s %9s %7s\n",
+		"components", "per-desc ms", "batch ms", "plan cold", "plan warm", "speedup", "match")
+	for _, row := range r.Rows {
+		match := "ok"
+		if !row.DigestMatch || !row.StateMatch || !row.PlanApplied || !row.CacheHit {
+			match = "DIVERGE"
+		}
+		fmt.Fprintf(&b, "%10d %12.3f %12.3f %12.3f %12.3f %8.1fx %7s\n",
+			row.Components,
+			float64(row.PerDescriptorNS)/1e6, float64(row.EventBatchNS)/1e6,
+			float64(row.PlanColdNS)/1e6, float64(row.PlanWarmNS)/1e6,
+			row.Speedup, match)
+	}
+	return b.String()
+}

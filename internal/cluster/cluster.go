@@ -36,6 +36,7 @@ import (
 	"repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/osgi"
+	"repro/internal/plan"
 	"repro/internal/rtos"
 	"repro/internal/sim"
 )
@@ -198,6 +199,10 @@ type Cluster struct {
 	cooldown map[string]sim.Time
 	// partSpans chains each partition's heal span to its cut span.
 	partSpans map[int]obs.SpanID
+	// planCache is shared by every node's DRCR: a composition plan the
+	// leader compiles for a migration batch is found by key on the
+	// receiving node and applied without recompiling.
+	planCache *plan.Cache
 
 	closed bool
 }
@@ -220,6 +225,7 @@ func New(cfg Config) (*Cluster, error) {
 		placements: map[string]*placement{},
 		cooldown:   map[string]sim.Time{},
 		partSpans:  map[int]obs.SpanID{},
+		planCache:  plan.NewCache(),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		fw := osgi.NewFramework()
@@ -240,6 +246,7 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			return nil, err
 		}
+		d.SetPlanCache(c.planCache)
 		n := &Node{
 			id:        i,
 			fw:        fw,

@@ -202,6 +202,93 @@ func TestNodeLossReplacementAndReconcile(t *testing.T) {
 	}
 }
 
+const evacSrcXML = `<component name="esrc" desc="evac source" type="periodic" cpuusage="0.1">
+  <implementation bincode="demo.Cons"/>
+  <periodictask frequence="500" runoncup="0" priority="2"/>
+  <outport name="pipe" interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`
+
+const evacMidXML = `<component name="emid" desc="evac relay" type="periodic" cpuusage="0.1">
+  <implementation bincode="demo.Cons"/>
+  <periodictask frequence="500" runoncup="0" priority="3"/>
+  <inport name="pipe" interface="RTAI.SHM" type="Integer" size="4"/>
+  <outport name="flow" interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`
+
+const evacSnkXML = `<component name="esnk" desc="evac sink" type="periodic" cpuusage="0.1">
+  <implementation bincode="demo.Cons"/>
+  <periodictask frequence="500" runoncup="0" priority="4"/>
+  <inport name="flow" interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`
+
+// TestBatchedEvacuationShipsPlan pins the plan-shipping path: losing a
+// node that hosts a whole wired chain must evacuate the batch as ONE
+// migrate-plan message. The leader compiles the composition plan into
+// the cluster-shared cache before sending; the receiver deploys the
+// batch in a single pass and finds the plan by key instead of
+// recompiling.
+func TestBatchedEvacuationShipsPlan(t *testing.T) {
+	c := mkCluster(t, Config{Nodes: 4, Seed: 19})
+	// Occupy the leader so the evacuation targets a remote node — the
+	// plan must actually cross the network.
+	if err := c.DeployXMLOn(0, flexXML); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{evacSrcXML, evacMidXML, evacSnkXML} {
+		if err := c.DeployXMLOn(3, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Net().SchedulePartition(c.Now().Add(10*time.Millisecond), 40*time.Millisecond, 3)
+	if err := c.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	v := c.GlobalView()
+	target := v.Placements["esrc"]
+	if target == 3 || target == 0 {
+		t.Fatalf("batch evacuated to node %d, want a spare remote node", target)
+	}
+	for _, name := range []string{"emid", "esnk"} {
+		if v.Placements[name] != target {
+			t.Fatalf("%s re-placed on node %d, esrc on %d: batch split", name, v.Placements[name], target)
+		}
+	}
+	recv := c.Node(target).DRCR()
+	for _, name := range []string{"esrc", "emid", "esnk"} {
+		info, ok := recv.Component(name)
+		if !ok || info.State != core.Active {
+			t.Fatalf("%s not ACTIVE on the target node: %+v", name, info)
+		}
+	}
+	// The chain re-wired locally in the same pass, not via remote
+	// provisions.
+	if info, _ := recv.Component("emid"); info.Bindings["pipe"] != "esrc" {
+		t.Fatalf("emid bound to %q, want the local esrc", info.Bindings["pipe"])
+	}
+	// The receiver applied the leader's cached plan: a cache hit and an
+	// apply on the target node, a compile on the leader.
+	if snap := c.nodes[target].plane.Snapshot(); snap.Plan.Applies == 0 || snap.Plan.CacheHits == 0 {
+		t.Fatalf("target node did not fast-apply the shipped plan: %+v", snap.Plan)
+	}
+	hits, misses, _ := c.planCache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("shared plan cache saw hits=%d misses=%d, want the leader's compile and the receiver's hit", hits, misses)
+	}
+	// After the heal, reconciliation removes the stale copies on the
+	// returned node and the cluster converges as usual.
+	if err := c.Run(120 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"esrc", "emid", "esnk"} {
+		if _, still := c.Node(3).DRCR().Component(name); still {
+			t.Fatalf("stale %s survived reconciliation on the healed node", name)
+		}
+	}
+	if !c.Converged() {
+		t.Fatal("cluster did not converge after the heal")
+	}
+}
+
 func TestRevokeBudgetOverNetwork(t *testing.T) {
 	c := mkCluster(t, Config{Nodes: 2, Seed: 13})
 	if err := c.DeployXMLOn(1, prodXML); err != nil {

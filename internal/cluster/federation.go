@@ -170,10 +170,17 @@ func (c *Cluster) sendProvision(b sim.Time, n *Node, dst int, key expKey, port d
 	}
 	_, origin, _ := strings.Cut(string(key), "|")
 	span := c.plane.Send(b, origin, n.Name(), nodeName(dst), "provision "+verb+" "+port.Name, 0)
+	note := verb + ":" + string(port.Interface)
+	// Typed ports append their contract attributes; untyped ports keep
+	// the legacy two-field note byte for byte. The datatype rides last
+	// because its canonical form may itself contain colons.
+	if port.Version != "" || port.DataType != "" {
+		note += ":" + port.Version + ":" + port.DataType
+	}
 	c.net.Send(b, net.Message{
 		Src: n.id, Dst: dst, Kind: net.Provision,
 		Topic:   string(key),
-		Note:    verb + ":" + string(port.Interface),
+		Note:    note,
 		Payload: []int64{int64(port.Type), int64(port.Size)},
 		Cause:   uint64(span),
 	})
@@ -242,16 +249,20 @@ func (c *Cluster) deliver(b sim.Time, m net.Message) {
 func (c *Cluster) deliverProvision(b sim.Time, n *Node, m net.Message) {
 	key := expKey(m.Topic)
 	topic, origin, ok := strings.Cut(m.Topic, "|")
-	verb, iface, _ := strings.Cut(m.Note, ":")
-	if !ok || len(m.Payload) < 2 {
+	parts := strings.SplitN(m.Note, ":", 4)
+	if !ok || len(parts) < 2 || len(m.Payload) < 2 {
 		return
 	}
+	verb, iface := parts[0], parts[1]
 	port := descriptor.Port{
 		Name:      topic,
 		Interface: descriptor.PortInterface(iface),
 		Type:      ipc.ElemType(m.Payload[0]),
 		Size:      int(m.Payload[1]),
 		Direction: descriptor.Out,
+	}
+	if len(parts) == 4 {
+		port.Version, port.DataType = parts[2], parts[3]
 	}
 	switch verb {
 	case "on":
@@ -329,6 +340,24 @@ func (c *Cluster) deliverControl(b sim.Time, n *Node, m net.Message) {
 			if _, deployed := n.drcr.Component(m.Topic); !deployed {
 				_ = n.drcr.Deploy(pl.desc)
 			}
+		}
+	case "migrate-plan":
+		// A batched evacuation: the topic names the batch, the shared
+		// catalog still holds the descriptors, and the shared plan cache
+		// holds the plan the leader compiled before sending.
+		var descs []*descriptor.Component
+		for _, name := range strings.Split(m.Topic, ",") {
+			pl := c.placements[name]
+			if pl == nil {
+				continue
+			}
+			if _, deployed := n.drcr.Component(name); deployed {
+				continue
+			}
+			descs = append(descs, pl.desc)
+		}
+		if len(descs) > 0 {
+			n.drcr.DeployAll(descs)
 		}
 	case "migrate-rm":
 		_ = n.drcr.Remove(m.Topic)

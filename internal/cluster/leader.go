@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/descriptor"
 	"repro/internal/net"
@@ -100,6 +101,15 @@ func (c *Cluster) onNodeLoss(b sim.Time, leader *Node, lost int) {
 	span := c.plane.NodeLoss(b, nodeName(lost), int64(len(stranded)),
 		fmt.Sprintf("no heartbeat for %v", c.cfg.NodeLossAfter), 0)
 	delete(leader.reports, lost)
+	// Pick a target for every evacuee first, then ship per target: a
+	// batch of two or more rides one compiled composition plan instead
+	// of N migrate-add messages.
+	type evacuation struct {
+		names  []string
+		causes []obs.SpanID
+	}
+	batches := map[int]*evacuation{}
+	var targets []int
 	for _, name := range stranded {
 		pl := c.placements[name]
 		target, ok := c.pickNode(leader, pl.desc, lost)
@@ -109,8 +119,63 @@ func (c *Cluster) onNodeLoss(b sim.Time, leader *Node, lost int) {
 		pl.node = target
 		c.cooldown[name] = b
 		cause := c.plane.Place(b, name, nodeName(target), "re-placed after node loss", span)
-		c.placeOn(b, leader, target, name, cause)
+		ev := batches[target]
+		if ev == nil {
+			ev = &evacuation{}
+			batches[target] = ev
+			targets = append(targets, target)
+		}
+		ev.names = append(ev.names, name)
+		ev.causes = append(ev.causes, cause)
 	}
+	for _, target := range targets {
+		ev := batches[target]
+		if len(ev.names) == 1 {
+			// A lone evacuee takes the classic per-component path.
+			c.placeOn(b, leader, target, ev.names[0], ev.causes[0])
+			continue
+		}
+		c.planOn(b, leader, target, ev.names, span)
+	}
+}
+
+// planOn evacuates a batch of components as one compiled composition
+// plan: the leader compiles the batch against its own view — warming
+// the cluster-shared plan cache — and sends a single migrate-plan
+// control message naming the batch. The receiver re-reads the
+// descriptors from the shared catalog and deploys them in one pass,
+// hitting the cached plan when its view matches the leader's. A batch
+// that fails to compile (a typed port conflict between evacuees)
+// degrades to per-component migrate-add, i.e. the event path.
+func (c *Cluster) planOn(b sim.Time, leader *Node, target int, names []string, cause obs.SpanID) {
+	descs := make([]*descriptor.Component, 0, len(names))
+	for _, name := range names {
+		if pl := c.placements[name]; pl != nil {
+			descs = append(descs, pl.desc)
+		}
+	}
+	if _, err := leader.drcr.CompilePlan(descs); err != nil {
+		for _, name := range names {
+			c.placeOn(b, leader, target, name, cause)
+		}
+		return
+	}
+	if target == leader.id {
+		todo := descs[:0]
+		for _, d := range descs {
+			if _, deployed := leader.drcr.Component(d.Name); !deployed {
+				todo = append(todo, d)
+			}
+		}
+		leader.drcr.DeployAll(todo)
+		return
+	}
+	batch := strings.Join(names, ",")
+	span := c.plane.Send(b, batch, leader.Name(), nodeName(target), "migrate-plan", cause)
+	c.net.Send(b, net.Message{
+		Src: leader.id, Dst: target, Kind: net.Control,
+		Topic: batch, Note: "migrate-plan", Cause: uint64(span),
+	})
 }
 
 // pickNode chooses the reachable node with the most spare budget for a

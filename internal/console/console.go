@@ -92,6 +92,8 @@ func (c *Console) Exec(line string) (quit bool) {
 		return true
 	case "deploy":
 		err = c.deploy(args)
+	case "plan":
+		err = c.plan(args)
 	case "remove", "enable", "disable", "suspend", "resume":
 		err = c.lifecycle(cmd, args)
 	case "run":
@@ -148,6 +150,7 @@ func (c *Console) Exec(line string) (quit bool) {
 func (c *Console) printHelp() {
 	fmt.Fprint(c.out, `commands:
   deploy <file.xml>       parse and deploy a component descriptor
+  plan <file.xml> [...]   compile a bundle's composition plan (no deploy)
   remove|enable|disable|suspend|resume <name>
   run <duration>          advance simulated time (e.g. run 500ms)
   mode light|stress       switch the load regime
@@ -189,6 +192,71 @@ func (c *Console) deploy(args []string) error {
 		return err
 	}
 	fmt.Fprintf(c.out, "deployed %s\n", args[0])
+	return nil
+}
+
+// plan compiles — without deploying — the composition plan for the
+// given descriptor files, in argument order, against the live system,
+// and renders it: activation schedule, wiring table, admission deltas,
+// leftovers. Every section iterates pre-sorted plan slices, so the
+// render is deterministic.
+func (c *Console) plan(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: plan <file.xml> [more.xml ...]")
+	}
+	srcs := make([]string, 0, len(args))
+	for _, path := range args {
+		data, err := c.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, string(data))
+	}
+	p, err := c.sys.CompilePlan(srcs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "plan %s: %d components, %d schedulable, %d leftover\n",
+		p.Key[:12], len(p.Components), len(p.Schedule), len(p.Leftovers))
+	if len(p.Schedule) > 0 {
+		fmt.Fprintln(c.out, "activation order:")
+		for i, name := range p.Schedule {
+			cause := "-"
+			if ci := p.CauseIdx[i]; ci >= 0 {
+				cause = p.Schedule[ci]
+			}
+			fmt.Fprintf(c.out, "  %2d. %-8s cause %s\n", i+1, name, cause)
+		}
+	}
+	if len(p.Edges) > 0 {
+		fmt.Fprintln(c.out, "wiring:")
+		for _, e := range p.Edges {
+			provider := "(unbound)"
+			if e.Provider != "" {
+				provider = e.Provider
+			}
+			fmt.Fprintf(c.out, "  %s.%s <- %s", e.Consumer, e.Inport, provider)
+			if e.External {
+				fmt.Fprint(c.out, " (external)")
+			}
+			if len(e.Modes) > 1 {
+				fmt.Fprintf(c.out, " [%s]", strings.Join(e.Modes, ","))
+			}
+			fmt.Fprintln(c.out)
+		}
+	}
+	if len(p.Deltas) > 0 {
+		fmt.Fprintln(c.out, "admission delta:")
+		for _, d := range p.Deltas {
+			fmt.Fprintf(c.out, "  cpu%d: %.3f -> %.3f (%+.3f)\n", d.CPU, d.Before, d.After, d.Delta)
+		}
+	}
+	for _, lo := range p.Leftovers {
+		fmt.Fprintf(c.out, "leftover: %s waits on inport %s\n", lo.Name, lo.Missing)
+	}
+	if p.Fallback != "" {
+		fmt.Fprintf(c.out, "fallback: %s (deploy takes the event path)\n", p.Fallback)
+	}
 	return nil
 }
 
@@ -453,9 +521,13 @@ func (c *Console) why(args []string) error {
 	return nil
 }
 
-// metrics prints the observability snapshot.
+// metrics prints the observability snapshot, plus the compiled-plan
+// cache counters (lookups live outside the obs plane, in the cache).
 func (c *Console) metrics() {
 	fmt.Fprint(c.out, c.sys.Observer().Snapshot().Format())
+	if hits, misses, size := c.sys.DRCR().PlanCache().Stats(); hits+misses+uint64(size) > 0 {
+		fmt.Fprintf(c.out, "  plan cache: %d hits, %d misses, %d entries\n", hits, misses, size)
+	}
 }
 
 // watch advances simulated time and prints every span the interval

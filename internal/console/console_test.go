@@ -24,6 +24,19 @@ const modesCameraXML = `<component name="camera" type="periodic" cpuusage="0.1">
   <mode name="eco" frequence="50" cpuusage="0.05"/>
 </component>`
 
+const provXML = `<component name="feeder" type="periodic" cpuusage="0.05">
+  <implementation bincode="demo.Feeder"/>
+  <periodictask frequence="100" runoncup="0" priority="3"/>
+  <outport name="beam" interface="RTAI.SHM" type="Integer" size="16"/>
+</component>`
+
+const consXML = `<component name="eater" type="periodic" cpuusage="0.05">
+  <implementation bincode="demo.Eater"/>
+  <periodictask frequence="100" runoncup="0" priority="4"/>
+  <inport name="beam" interface="RTAI.SHM" type="Integer" size="16"/>
+  <inport name="ghost" interface="RTAI.SHM" type="Integer" size="16"/>
+</component>`
+
 func newConsole(t *testing.T) (*Console, *strings.Builder) {
 	t.Helper()
 	sys, err := drcom.NewSystem(drcom.Config{Seed: 12})
@@ -39,6 +52,10 @@ func newConsole(t *testing.T) (*Console, *strings.Builder) {
 			return []byte(cameraXML), nil
 		case "modes.xml":
 			return []byte(modesCameraXML), nil
+		case "prov.xml":
+			return []byte(provXML), nil
+		case "cons.xml":
+			return []byte(consXML), nil
 		}
 		return nil, fmt.Errorf("no such file %q", path)
 	}
@@ -350,5 +367,40 @@ func TestSessionWhyChainAfterFaultCampaign(t *testing.T) {
 	// And the metrics snapshot counts the enforcement.
 	if !strings.Contains(text, "contract:  1 violations, 1 revocations") {
 		t.Errorf("metrics snapshot missing contract counters:\n%s", text)
+	}
+}
+
+// TestPlanCommand compiles a two-descriptor bundle without deploying:
+// the render must show the activation schedule, the wiring table
+// (bound, unbound), the admission delta, the leftover, and the metrics
+// snapshot must grow a plan-cache line once a compile has happened.
+func TestPlanCommand(t *testing.T) {
+	out := session(t, `
+plan prov.xml cons.xml
+metrics
+quit
+`)
+	for _, want := range []string{
+		"plan ",
+		"2 components, 1 schedulable, 1 leftover",
+		"activation order:",
+		" 1. feeder",
+		"wiring:",
+		"eater.beam <- feeder",
+		"eater.ghost <- (unbound)",
+		"admission delta:",
+		"cpu0: 0.000 -> 0.050 (+0.050)",
+		"leftover: eater waits on inport ghost",
+		"plans:",
+		"1 compiled",
+		"plan cache: 0 hits, 1 misses, 1 entries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	// Nothing was deployed: plan is read-only.
+	if strings.Contains(out, "deployed") {
+		t.Error("plan command deployed something")
 	}
 }

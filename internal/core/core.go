@@ -28,6 +28,7 @@ import (
 	"repro/internal/ldap"
 	"repro/internal/obs"
 	"repro/internal/osgi"
+	"repro/internal/plan"
 	"repro/internal/policy"
 	"repro/internal/rtos"
 	"repro/internal/rtos/ipc"
@@ -149,6 +150,12 @@ type Component struct {
 	mgmtReg *osgi.ServiceRegistration
 	// bindings maps inport name -> providing component name while active.
 	bindings map[string]string
+	// planBinds, when non-nil, holds the precompiled activation-moment
+	// binding row (by InPorts index) the plan apply staged; activateLocked
+	// consumes and clears it instead of querying the provider index.
+	// planSpec is the matching preflight-validated task spec.
+	planBinds []string
+	planSpec  *rtos.TaskSpec
 	// lastReason explains the most recent state decision.
 	lastReason string
 	// revoked bars the component from re-admission after a runtime
@@ -199,10 +206,13 @@ type portKey struct {
 
 func keyOf(p descriptor.Port) portKey { return portKey{p.Name, p.Interface, p.Type} }
 
-// portProv is one admitted provider of a port topic.
+// portProv is one admitted provider of a port topic. It carries the
+// full declared outport so the index answers compatibility queries
+// (size plus the typed version/datatype rules) exactly like the
+// reference scan over descriptors.
 type portProv struct {
 	name string
-	size int
+	port descriptor.Port
 }
 
 // Info is a read-only component snapshot.
@@ -268,6 +278,12 @@ type Options struct {
 	// Obs is the observability plane every DRCR decision is traced into;
 	// defaults to a fresh plane at the Sampled level.
 	Obs *obs.Plane
+	// DisablePlanFastPath routes every bundle/batch deploy through the
+	// per-descriptor event path even when a compiled composition plan
+	// could be fast-applied. It exists for differential testing and
+	// benchmarking: both paths must produce identical lifecycle outcomes,
+	// which the plan differential tests pin.
+	DisablePlanFastPath bool
 	// Shards stripes the lifecycle surface by dependency cone (see
 	// cones.go): operations on independent cones run concurrently, each
 	// holding its cone's stripe through mutation plus the resolution it
@@ -310,12 +326,28 @@ type DRCR struct {
 	comps     map[string]*Component
 	factories map[string]BodyFactory
 
+	// planCache holds compiled composition plans keyed by descriptor-set
+	// digest, so redeploys and cluster-shipped batches skip compilation.
+	// Replaceable via SetPlanCache (a cluster shares one across nodes).
+	planCache *plan.Cache
+
 	// admitted is the contract set of Active/Suspended components, kept
-	// sorted by name and maintained incrementally on every lifecycle
-	// transition so Resolve's fixed-point iterations never rebuild it.
-	// cpuLoad is the matching per-CPU summed declared budget.
-	admitted []policy.Contract
-	cpuLoad  []float64
+	// name-sorted up to admittedSorted and maintained incrementally on
+	// every lifecycle transition so Resolve's fixed-point iterations
+	// never rebuild it. Inserts append past the sorted prefix;
+	// flushAdmittedLocked sorts and merges the tail before any ordered
+	// read, so a whole-bundle deploy pays one O(N) merge instead of N
+	// O(N) shifts. Pointers, not values: the merge moves one machine
+	// word per element instead of a whole contract. cpuLoad is the
+	// matching per-CPU summed declared budget.
+	admitted       []*policy.Contract
+	admittedSorted int
+	cpuLoad        []float64
+	// loadDirty flags CPUs whose accumulator is stale; loadLocked
+	// re-sums them in admitted-name order before anyone reads cpuLoad,
+	// so a whole-bundle deploy pays one rebuild instead of N.
+	loadDirty    []bool
+	loadDirtyAny bool
 
 	// allNames is the sorted name list of every managed component,
 	// maintained incrementally on deploy/destroy so the reference full
@@ -400,6 +432,7 @@ func New(fw *osgi.Framework, kernel *rtos.Kernel, opts Options) (*DRCR, error) {
 		obs:         opts.Obs,
 		comps:       map[string]*Component{},
 		factories:   map[string]BodyFactory{},
+		planCache:   plan.NewCache(),
 		provIndex:   map[portKey][]portProv{},
 		consIndex:   map[portKey][]string{},
 		waiting:     map[string]*Component{},
@@ -438,7 +471,7 @@ func (d *DRCR) declaredLoad() []float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]float64, d.kernel.NumCPUs())
-	copy(out, d.cpuLoad)
+	copy(out, d.loadLocked())
 	return out
 }
 
@@ -604,14 +637,17 @@ func (d *DRCR) GlobalView() policy.View {
 // re-copying the contract list per candidate.
 func (d *DRCR) viewLocked() policy.View {
 	if !d.viewSnapValid || d.viewSnapEpoch != d.viewEpoch {
+		d.flushAdmittedLocked()
 		v := policy.View{NumCPUs: d.kernel.NumCPUs(), Epoch: d.viewEpoch}
 		if len(d.admitted) > 0 {
 			v.Admitted = make([]policy.Contract, len(d.admitted))
-			copy(v.Admitted, d.admitted)
+			for i, ct := range d.admitted {
+				v.Admitted[i] = *ct
+			}
 		}
-		if len(d.cpuLoad) > 0 {
-			v.CPULoad = make([]float64, len(d.cpuLoad))
-			copy(v.CPULoad, d.cpuLoad)
+		if load := d.loadLocked(); len(load) > 0 {
+			v.CPULoad = make([]float64, len(load))
+			copy(v.CPULoad, load)
 		}
 		d.viewSnap = v
 		d.viewSnapEpoch = d.viewEpoch
@@ -631,30 +667,43 @@ func (d *DRCR) noteTransitionLocked(c *Component, from, to State) {
 		return
 	}
 	name := c.desc.Name
-	i := sort.Search(len(d.admitted), func(i int) bool { return d.admitted[i].Name >= name })
+	var cpu int
 	if is {
-		d.admitted = append(d.admitted, policy.Contract{})
-		copy(d.admitted[i+1:], d.admitted[i:])
-		d.admitted[i] = contractAt(c.desc, c.mode)
+		ct := contractAt(c.desc, c.mode)
+		cpu = ct.CPU
+		// Append past the sorted prefix; the merge happens lazily at the
+		// next ordered read. Component names are unique in the admitted
+		// set, so the deferred sort lands the entry exactly where the
+		// immediate sorted insert would have.
+		d.admitted = append(d.admitted, &ct)
 		if c.mode > 0 {
 			d.degraded = insertName(d.degraded, name)
 		}
 	} else {
+		d.flushAdmittedLocked()
+		i := sort.Search(len(d.admitted), func(i int) bool { return d.admitted[i].Name >= name })
 		if i >= len(d.admitted) || d.admitted[i].Name != name {
 			return // not tracked; nothing to withdraw
 		}
+		cpu = d.admitted[i].CPU
 		d.admitted = append(d.admitted[:i], d.admitted[i+1:]...)
+		d.admittedSorted = len(d.admitted)
 		if len(d.degraded) > 0 {
 			d.degraded = removeName(d.degraded, name)
 		}
 	}
-	d.recomputeLoadLocked()
+	// A membership change on one CPU leaves every other CPU's contract
+	// sequence untouched, so their name-order sums are bit-for-bit the
+	// ones a full rebuild would produce. Mark this CPU stale; the re-sum
+	// happens lazily at the next cpuLoad read (loadLocked), which folds a
+	// whole-bundle deploy's N re-sums into one.
+	d.markLoadDirtyLocked(cpu)
 	d.viewEpoch++
 	// Keep the provider index exactly the outports of the admitted set.
 	for _, out := range c.desc.OutPorts {
 		key := keyOf(out)
 		if is {
-			d.provIndex[key] = insertProv(d.provIndex[key], portProv{name: name, size: out.Size})
+			d.provIndex[key] = insertProv(d.provIndex[key], portProv{name: name, port: out})
 		} else {
 			d.provIndex[key] = removeProv(d.provIndex[key], name)
 		}
@@ -692,6 +741,33 @@ func insertName(ns []string, name string) []string {
 	return ns
 }
 
+// mergeNames merges a sorted batch of new names into a sorted list —
+// the single-pass equivalent of insertName once per element. Callers
+// guarantee the batch is disjoint from dst (the plan install loop skips
+// duplicates against the component table, which dst mirrors).
+func mergeNames(dst, add []string) []string {
+	if len(add) == 0 {
+		return dst
+	}
+	if len(dst) == 0 || dst[len(dst)-1] < add[0] {
+		return append(dst, add...)
+	}
+	out := make([]string, 0, len(dst)+len(add))
+	i, j := 0, 0
+	for i < len(dst) && j < len(add) {
+		if dst[i] <= add[j] {
+			out = append(out, dst[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	out = append(out, dst[i:]...)
+	out = append(out, add[j:]...)
+	return out
+}
+
 func removeName(ns []string, name string) []string {
 	i := sort.SearchStrings(ns, name)
 	if i >= len(ns) || ns[i] != name {
@@ -700,11 +776,44 @@ func removeName(ns []string, name string) []string {
 	return append(ns[:i], ns[i+1:]...)
 }
 
+// flushAdmittedLocked restores the full name-sort invariant on
+// d.admitted: the appended tail is sorted and merged into the sorted
+// prefix in one backward pass. Every ordered reader calls this first;
+// the call is a length comparison when nothing was appended. The merged
+// slice is element-for-element the one immediate sorted inserts would
+// have produced (names are unique), so every downstream ordered
+// computation — name-order load sums, view snapshots, reference scans —
+// is bit-for-bit unchanged.
+func (d *DRCR) flushAdmittedLocked() {
+	n := len(d.admitted)
+	if d.admittedSorted == n {
+		return
+	}
+	tail := d.admitted[d.admittedSorted:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Name < tail[j].Name })
+	if d.admittedSorted > 0 && d.admitted[d.admittedSorted-1].Name > tail[0].Name {
+		tmp := append([]*policy.Contract(nil), tail...)
+		i, j, k := d.admittedSorted-1, len(tmp)-1, n-1
+		for j >= 0 {
+			if i >= 0 && d.admitted[i].Name > tmp[j].Name {
+				d.admitted[k] = d.admitted[i]
+				i--
+			} else {
+				d.admitted[k] = tmp[j]
+				j--
+			}
+			k--
+		}
+	}
+	d.admittedSorted = n
+}
+
 // recomputeLoadLocked refreshes the per-CPU budget accumulators from the
 // admitted set. It runs only when membership changes (not on every Resolve
 // iteration) and always sums in name order, so the totals are bit-for-bit
 // the ones a full rebuild would produce.
 func (d *DRCR) recomputeLoadLocked() {
+	d.flushAdmittedLocked()
 	if d.cpuLoad == nil {
 		d.cpuLoad = make([]float64, d.kernel.NumCPUs())
 	}
@@ -716,6 +825,52 @@ func (d *DRCR) recomputeLoadLocked() {
 			d.cpuLoad[ct.CPU] += ct.CPUUsage
 		}
 	}
+	for i := range d.loadDirty {
+		d.loadDirty[i] = false
+	}
+	d.loadDirtyAny = false
+}
+
+// markLoadDirtyLocked flags one CPU's accumulator stale after a
+// membership change there.
+func (d *DRCR) markLoadDirtyLocked(cpu int) {
+	if d.loadDirty == nil {
+		d.loadDirty = make([]bool, d.kernel.NumCPUs())
+	}
+	if cpu < 0 || cpu >= len(d.loadDirty) {
+		return
+	}
+	d.loadDirty[cpu] = true
+	d.loadDirtyAny = true
+}
+
+// loadLocked returns the per-CPU accumulators, re-summing any stale CPU
+// in admitted-name order first — bit-for-bit the totals a full rebuild
+// at every transition would have produced, without paying the rebuild
+// per transition.
+func (d *DRCR) loadLocked() []float64 {
+	if d.cpuLoad == nil {
+		d.cpuLoad = make([]float64, d.kernel.NumCPUs())
+	}
+	if !d.loadDirtyAny {
+		return d.cpuLoad
+	}
+	d.flushAdmittedLocked()
+	for i, dirty := range d.loadDirty {
+		if dirty {
+			d.cpuLoad[i] = 0
+		}
+	}
+	for _, ct := range d.admitted {
+		if ct.CPU >= 0 && ct.CPU < len(d.cpuLoad) && d.loadDirty[ct.CPU] {
+			d.cpuLoad[ct.CPU] += ct.CPUUsage
+		}
+	}
+	for i := range d.loadDirty {
+		d.loadDirty[i] = false
+	}
+	d.loadDirtyAny = false
+	return d.cpuLoad
 }
 
 func contractOf(desc *descriptor.Component) policy.Contract {

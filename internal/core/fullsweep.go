@@ -24,6 +24,7 @@ func (d *DRCR) resolveOnce() (changed bool) {
 	// One reference pass = one resolution round; the sweep has no staged
 	// worklists, so the depth arguments are zero.
 	d.obs.ResolveRound(d.kernel.Now(), 0, 0)
+	d.flushAdmittedLocked()
 	d.admittedScratch = d.admittedScratch[:0]
 	for _, ct := range d.admitted {
 		d.admittedScratch = append(d.admittedScratch, ct.Name)
@@ -148,6 +149,7 @@ func (d *DRCR) unsatisfiedInportScanLocked(c *Component, mode int) string {
 // looking for a compatible outport — the scan the provider index
 // replaces.
 func (d *DRCR) findProviderScanLocked(self string, in descriptor.Port) string {
+	d.flushAdmittedLocked()
 	for _, ct := range d.admitted {
 		if ct.Name == self {
 			continue

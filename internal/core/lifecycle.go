@@ -167,6 +167,7 @@ func (d *DRCR) adoptBundle(b *osgi.Bundle) {
 	if m == nil {
 		return
 	}
+	var descs []*descriptor.Component
 	for _, res := range m.DRComComponents {
 		src, ok := b.Resource(res)
 		if !ok {
@@ -176,9 +177,9 @@ func (d *DRCR) adoptBundle(b *osgi.Bundle) {
 		if err != nil {
 			continue // malformed descriptors are skipped, mirroring SCR
 		}
-		_ = d.addComponent(desc, b) // duplicates are skipped
+		descs = append(descs, desc)
 	}
-	d.resolveDelta()
+	d.deployBatchLocked(descs, b)
 }
 
 func (d *DRCR) dropBundle(b *osgi.Bundle) {
@@ -247,7 +248,7 @@ func (d *DRCR) addComponent(desc *descriptor.Component, b *osgi.Bundle) error {
 		return fmt.Errorf("core: component %q pinned to cpu%d but kernel has %d CPUs",
 			desc.Name, cpuID, d.kernel.NumCPUs())
 	}
-	c := &Component{desc: desc, bundle: b, bindings: map[string]string{}}
+	c := &Component{desc: desc, bundle: b} // bindings stay nil until activation fills them
 	if desc.Enabled {
 		c.state = Unsatisfied
 		c.lastReason = "deployed"
@@ -276,9 +277,19 @@ func (d *DRCR) addComponent(desc *descriptor.Component, b *osgi.Bundle) error {
 // activateLocked instantiates the component: IPC objects for its
 // outports, the hybrid RT task, and the management service.
 func (d *DRCR) activateLocked(c *Component) error {
-	spec, err := d.taskSpecLocked(c.desc, c.mode)
-	if err != nil {
-		return err
+	var spec rtos.TaskSpec
+	if c.planSpec != nil {
+		// The plan preflight already computed and validated this spec;
+		// sim time cannot advance mid-apply, so it is the spec this call
+		// would rebuild.
+		spec = *c.planSpec
+		c.planSpec = nil
+	} else {
+		var err error
+		spec, err = d.taskSpecLocked(c.desc, c.mode)
+		if err != nil {
+			return err
+		}
 	}
 	// Outport transports first, so the body can look them up.
 	var createdSHM, createdBoxes []string
@@ -310,9 +321,12 @@ func (d *DRCR) activateLocked(c *Component) error {
 	if f := d.factories[c.desc.Implementation]; f != nil {
 		body = f(c.desc)
 	}
-	props := map[string]string{}
-	for _, p := range c.desc.Properties {
-		props[p.Name] = p.Value
+	var props map[string]string
+	if len(c.desc.Properties) > 0 {
+		props = make(map[string]string, len(c.desc.Properties))
+		for _, p := range c.desc.Properties {
+			props[p.Name] = p.Value
+		}
 	}
 	inst, err := hrc.New(hrc.Config{
 		Kernel: d.kernel,
@@ -331,12 +345,18 @@ func (d *DRCR) activateLocked(c *Component) error {
 	}
 	// Record inport bindings for the global view; inports the admitted
 	// mode drops stay unbound.
-	c.bindings = map[string]string{}
-	for _, in := range c.desc.InPorts {
+	c.bindings = make(map[string]string, len(c.desc.InPorts))
+	planBinds := c.planBinds
+	c.planBinds = nil
+	for i, in := range c.desc.InPorts {
 		if !c.desc.RequiresInport(c.mode, in.Name) {
 			continue
 		}
-		c.bindings[in.Name] = d.findProviderLocked(c.desc.Name, in)
+		if planBinds != nil {
+			c.bindings[in.Name] = planBinds[i]
+		} else {
+			c.bindings[in.Name] = d.findProviderLocked(c.desc.Name, in)
+		}
 	}
 	c.inst = inst
 	c.ownedSHM = createdSHM
@@ -365,11 +385,10 @@ func (d *DRCR) activateLocked(c *Component) error {
 // framework-level registrar: the component may belong to no bundle. A
 // degraded component advertises its effective budget and current mode.
 func (d *DRCR) registerMgmtLocked(c *Component, inst *hrc.Component) {
-	svcProps := ldap.Properties{
-		"drcom.component": c.desc.Name,
-		"drcom.type":      string(c.desc.Kind),
-		"drcom.cpuusage":  c.desc.ModeSpec(c.mode).CPUUsage,
-	}
+	svcProps := make(ldap.Properties, 4+len(c.desc.Properties))
+	svcProps["drcom.component"] = c.desc.Name
+	svcProps["drcom.type"] = string(c.desc.Kind)
+	svcProps["drcom.cpuusage"] = c.desc.ModeSpec(c.mode).CPUUsage
 	if c.mode > 0 {
 		svcProps["drcom.mode"] = c.desc.ModeName(c.mode)
 	}
@@ -465,6 +484,23 @@ func (d *DRCR) taskSpecLocked(desc *descriptor.Component, mode int) (rtos.TaskSp
 // setStateLocked performs a checked Figure 1 transition and emits the
 // event.
 func (d *DRCR) setStateLocked(c *Component, to State, reason string) {
+	d.setStateImplLocked(c, to, reason, true)
+}
+
+// setStatePlanLocked is setStateLocked minus the waiting-set upkeep.
+// Only the plan apply's own transitions use it: a scheduled component's
+// Unsatisfied→Satisfied→Active run would add it to the waiting set and
+// immediately remove it again, churn no reader can observe — every read
+// of d.waiting during the apply window is either deferred by d.resolving
+// or owned by the apply, which restores the exact event-path contents
+// (leftovers, failed activations) before any such read. Reentrant
+// listener callbacks keep using setStateLocked, so their transitions
+// maintain the waiting set normally.
+func (d *DRCR) setStatePlanLocked(c *Component, to State, reason string) {
+	d.setStateImplLocked(c, to, reason, false)
+}
+
+func (d *DRCR) setStateImplLocked(c *Component, to State, reason string, trackWaiting bool) {
 	from := c.state
 	if from == to {
 		return
@@ -479,11 +515,13 @@ func (d *DRCR) setStateLocked(c *Component, to State, reason string) {
 	// Keep the incremental admission view in sync before the event goes
 	// out: listeners may call back into the DRCR and must see it current.
 	d.noteTransitionLocked(c, from, to)
-	switch to {
-	case Unsatisfied, Satisfied:
-		d.waiting[c.desc.Name] = c
-	default:
-		delete(d.waiting, c.desc.Name)
+	if trackWaiting {
+		switch to {
+		case Unsatisfied, Satisfied:
+			d.waiting[c.desc.Name] = c
+		default:
+			delete(d.waiting, c.desc.Name)
+		}
 	}
 	c.lastSpan = d.obs.Transition(d.kernel.Now(), c.desc.Name, from.String(), to.String(), reason, d.takeCause(c))
 	d.emitLocked(Event{At: d.kernel.Now(), Component: c.desc.Name, From: from, To: to, Reason: reason})

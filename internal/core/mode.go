@@ -93,7 +93,8 @@ func (d *DRCR) setModeLocked(c *Component, mode int, reason string) error {
 	name := c.desc.Name
 	for i := range d.admitted {
 		if d.admitted[i].Name == name {
-			d.admitted[i] = contractAt(c.desc, mode)
+			ct := contractAt(c.desc, mode)
+			d.admitted[i] = &ct
 			break
 		}
 	}

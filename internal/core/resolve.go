@@ -568,7 +568,7 @@ func (d *DRCR) findProviderIndexLocked(self string, in descriptor.Port) string {
 		return ""
 	}
 	for _, p := range d.provIndex[keyOf(in)] {
-		if p.name != self && p.size >= in.Size {
+		if p.name != self && p.port.CanSatisfy(in) {
 			return p.name
 		}
 	}

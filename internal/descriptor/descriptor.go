@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/manifest"
 	"repro/internal/rtos/ipc"
 )
 
@@ -61,18 +62,28 @@ type Port struct {
 	Type      ipc.ElemType
 	Size      int // element count; byte size is Size*Type.Size()
 	Direction Direction
+	// Version is the typed-contract version annotation in canonical
+	// form: a concrete version on an outport ("1.2.0"), an accepted
+	// version range on an inport ("1.2.0", "[1.0.0,2.0.0)"). Empty
+	// means unversioned — the paper's bare string matching.
+	Version string
+	// DataType is the structural payload type in canonical form (see
+	// typing.go for the grammar). Empty means unchecked.
+	DataType string
 }
 
 // CanSatisfy reports whether this outport satisfies the given inport:
 // same port name, same transport, same element type, and at least the
 // required size (paper §2.3: name+interface+type+size determine
-// compatibility).
+// compatibility), plus the typed version/datatype rules of typing.go
+// when the ports carry annotations.
 func (p Port) CanSatisfy(in Port) bool {
 	return p.Direction == Out && in.Direction == In &&
 		p.Name == in.Name &&
 		p.Interface == in.Interface &&
 		p.Type == in.Type &&
-		p.Size >= in.Size
+		p.Size >= in.Size &&
+		p.typedOK(in)
 }
 
 // Property is one configuration property.
@@ -279,6 +290,8 @@ type xmlPort struct {
 	Interface string `xml:"interface,attr"`
 	Type      string `xml:"type,attr"`
 	Size      string `xml:"size,attr"`
+	Version   string `xml:"version,attr"`
+	DataType  string `xml:"datatype,attr"`
 }
 
 type xmlComponent struct {
@@ -576,6 +589,47 @@ func parsePort(xp xmlPort, dir Direction, seen map[string]bool, addf func(string
 		ok = false
 	} else {
 		p.Size = n
+	}
+	if v := strings.TrimSpace(xp.Version); v != "" {
+		if dir == Out {
+			ver, err := manifest.ParseVersion(v)
+			if err != nil {
+				addf("outport %q version %q must be a version (major[.minor[.micro]]): %v", xp.Name, xp.Version, err)
+				ok = false
+			} else {
+				p.Version = ver.String()
+			}
+		} else {
+			rng, err := manifest.ParseRange(v)
+			if err != nil {
+				addf("inport %q version %q must be a version range: %v", xp.Name, xp.Version, err)
+				ok = false
+			} else {
+				p.Version = rng.String()
+			}
+		}
+	}
+	if dtSrc := strings.TrimSpace(xp.DataType); dtSrc != "" {
+		dt, err := parseDataType(dtSrc)
+		if err != nil {
+			addf("port %q datatype %q invalid: %v", xp.Name, xp.DataType, err)
+			ok = false
+		} else {
+			et, n, err := dt.flatten()
+			switch {
+			case err != nil:
+				addf("port %q datatype %q invalid: %v", xp.Name, xp.DataType, err)
+				ok = false
+			case p.Type != 0 && et != 0 && et != p.Type:
+				addf("port %q datatype %q flattens to %v elements but the port type is %v", xp.Name, xp.DataType, et, p.Type)
+				ok = false
+			case p.Size != 0 && n > p.Size:
+				addf("port %q datatype %q needs %d elements but the port size is %d", xp.Name, xp.DataType, n, p.Size)
+				ok = false
+			default:
+				p.DataType = dt.String()
+			}
+		}
 	}
 	return p, ok
 }

@@ -25,6 +25,23 @@ func FuzzParse(f *testing.F) {
 	f.Add(multiMode)
 	f.Add(figure2)
 	f.Add(`<component name="x" type="aperiodic"><implementation bincode="b"/></component>`)
+	// Typed, versioned port contracts: the version/datatype attributes
+	// of typing.go, in both the concrete-version (outport) and
+	// range (inport) spellings, with structural payload types.
+	f.Add(`<component name="tprov" type="periodic" cpuusage="0.2">
+  <implementation bincode="t.Prov"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+  <outport name="feed" interface="RTAI.SHM" type="Integer" size="8" version="1.2" datatype="struct{seq:int32,val:int32[4]}"/>
+</component>`)
+	f.Add(`<component name="tcons" type="periodic" cpuusage="0.2">
+  <implementation bincode="t.Cons"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+  <inport name="feed" interface="RTAI.SHM" type="Integer" size="8" version="[1.0,2.0)" datatype="struct{seq:int32}"/>
+</component>`)
+	f.Add(`<component name="tbyte" type="aperiodic">
+  <implementation bincode="t.Byte"/>
+  <inport name="blob" interface="RTAI.Mailbox" type="Byte" size="64" version="1.0.0" datatype="byte[16][2]"/>
+</component>`)
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := Parse(src)
 		if err != nil {

@@ -15,6 +15,19 @@ func attr(v string) string {
 	return `"` + strings.ReplaceAll(b.String(), `"`, "&#34;") + `"`
 }
 
+// typedAttrs renders the optional version/datatype attributes of a
+// typed port ("" for untyped ports, keeping legacy output verbatim).
+func typedAttrs(p Port) string {
+	var b strings.Builder
+	if p.Version != "" {
+		fmt.Fprintf(&b, ` version=%s`, attr(p.Version))
+	}
+	if p.DataType != "" {
+		fmt.Fprintf(&b, ` datatype=%s`, attr(p.DataType))
+	}
+	return b.String()
+}
+
 // Render writes the component back out as descriptor XML in the paper's
 // Figure 2 schema. Parse(Render(c)) yields a component equal to c, which
 // the tests pin as a property; tools use Render to normalise hand-written
@@ -48,12 +61,12 @@ func (c *Component) Render() string {
 			c.Aperiodic.CPU, c.Aperiodic.Priority)
 	}
 	for _, p := range c.OutPorts {
-		fmt.Fprintf(&b, `  <outport name=%s interface=%s type=%s size="%d"/>`+"\n",
-			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size)
+		fmt.Fprintf(&b, `  <outport name=%s interface=%s type=%s size="%d"%s/>`+"\n",
+			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size, typedAttrs(p))
 	}
 	for _, p := range c.InPorts {
-		fmt.Fprintf(&b, `  <inport name=%s interface=%s type=%s size="%d"/>`+"\n",
-			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size)
+		fmt.Fprintf(&b, `  <inport name=%s interface=%s type=%s size="%d"%s/>`+"\n",
+			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size, typedAttrs(p))
 	}
 	for _, m := range c.Modes {
 		fmt.Fprintf(&b, `  <mode name=%s`, attr(m.Name))

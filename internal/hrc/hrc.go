@@ -122,11 +122,13 @@ func New(cfg Config) (*Component, error) {
 		k:        cfg.Kernel,
 		sync:     cfg.Sync,
 		syncCost: syncCost,
-		props:    map[string]string{},
 		userBody: cfg.Body,
 	}
-	for k, v := range cfg.Props {
-		c.props[k] = v
+	if len(cfg.Props) > 0 {
+		c.props = make(map[string]string, len(cfg.Props))
+		for k, v := range cfg.Props {
+			c.props[k] = v
+		}
 	}
 	box, err := cfg.Kernel.IPC().CreateMailbox(cfg.Spec.Name, capacity)
 	if err != nil {
@@ -237,6 +239,9 @@ func (c *Component) applyCommand(msg string) {
 	case opSet:
 		if len(parts) == 3 {
 			c.mu.Lock()
+			if c.props == nil {
+				c.props = map[string]string{}
+			}
 			c.props[parts[1]] = parts[2]
 			c.mu.Unlock()
 		}

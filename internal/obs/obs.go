@@ -273,6 +273,10 @@ type counters struct {
 	heals         uint64
 	placements    uint64
 	nodeLosses    uint64
+	planCompiles  uint64
+	planCacheHits uint64
+	planApplies   uint64
+	planFallbacks uint64
 }
 
 // compCounters are the per-component metric accumulators.
@@ -682,6 +686,44 @@ func (p *Plane) NoteDrain() {
 		return
 	}
 	p.c.resolveDrains++
+}
+
+// Plan-pipeline counters (counter-only, like NoteDrain: the plan fast
+// path must emit exactly the spans the event path would, so its own
+// bookkeeping never enters the digests).
+
+// NotePlanCompile counts one composition-plan compilation.
+func (p *Plane) NotePlanCompile() {
+	if !p.enabled() {
+		return
+	}
+	p.c.planCompiles++
+}
+
+// NotePlanCacheHit counts a deploy served from the compiled-plan cache.
+func (p *Plane) NotePlanCacheHit() {
+	if !p.enabled() {
+		return
+	}
+	p.c.planCacheHits++
+}
+
+// NotePlanApply counts one whole-bundle plan fast-path apply.
+func (p *Plane) NotePlanApply() {
+	if !p.enabled() {
+		return
+	}
+	p.c.planApplies++
+}
+
+// NotePlanFallback counts a deploy that compiled a plan but had to run
+// the per-descriptor event path (guard failure, degraded-only
+// feasibility, admission denial, ...).
+func (p *Plane) NotePlanFallback() {
+	if !p.enabled() {
+		return
+	}
+	p.c.planFallbacks++
 }
 
 // ResolveRound records one resolution round over deact staged

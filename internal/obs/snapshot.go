@@ -26,6 +26,7 @@ type Snapshot struct {
 	StreamDigest string `json:"stream_digest"`
 
 	Resolve    ResolveStats    `json:"resolve"`
+	Plan       PlanStats       `json:"plan"`
 	Lifecycle  LifecycleStats  `json:"lifecycle"`
 	Contract   ContractStats   `json:"contract"`
 	Degrade    DegradeStats    `json:"degrade"`
@@ -51,6 +52,19 @@ type ResolveStats struct {
 	DepthSamples int     `json:"depth_samples"`
 	DepthMean    float64 `json:"depth_mean"`
 	DepthMax     int64   `json:"depth_max"`
+}
+
+// PlanStats count composition-plan pipeline activity (zero when every
+// deploy ran the per-descriptor event path).
+type PlanStats struct {
+	// Compiles counts plan compilations; CacheHits deploys answered from
+	// the compiled-plan cache without recompiling.
+	Compiles  uint64 `json:"compiles"`
+	CacheHits uint64 `json:"cache_hits"`
+	// Applies counts whole-bundle fast-path applies; Fallbacks deploys
+	// that compiled but ran the event path anyway.
+	Applies   uint64 `json:"applies"`
+	Fallbacks uint64 `json:"fallbacks"`
 }
 
 // LifecycleStats count Figure 1 decisions.
@@ -157,6 +171,12 @@ func (p *Plane) Snapshot() Snapshot {
 			DepthSamples:     p.depth.Len(),
 			DepthMean:        p.depth.Mean(),
 			DepthMax:         p.depth.Max(),
+		},
+		Plan: PlanStats{
+			Compiles:  p.c.planCompiles,
+			CacheHits: p.c.planCacheHits,
+			Applies:   p.c.planApplies,
+			Fallbacks: p.c.planFallbacks,
 		},
 		Lifecycle: LifecycleStats{
 			Deploys:       p.c.deploys,
@@ -277,6 +297,10 @@ func (s Snapshot) Format() string {
 	fmt.Fprintf(&b, "  resolve:   %d drains, %d rounds, max depth %d (mean %.1f over %d non-empty)\n",
 		s.Resolve.Drains, s.Resolve.Rounds, s.Resolve.MaxWorklistDepth,
 		s.Resolve.DepthMean, s.Resolve.DepthSamples)
+	if s.Plan.Compiles > 0 || s.Plan.CacheHits > 0 || s.Plan.Applies > 0 || s.Plan.Fallbacks > 0 {
+		fmt.Fprintf(&b, "  plans:     %d compiled, %d cache hits, %d applied, %d fallbacks\n",
+			s.Plan.Compiles, s.Plan.CacheHits, s.Plan.Applies, s.Plan.Fallbacks)
+	}
 	fmt.Fprintf(&b, "  lifecycle: %d deploys, %d transitions, %d act, %d deact, %d denied\n",
 		s.Lifecycle.Deploys, s.Lifecycle.Transitions, s.Lifecycle.Activations,
 		s.Lifecycle.Deactivations, s.Lifecycle.Denials)

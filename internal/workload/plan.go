@@ -1,0 +1,294 @@
+package workload
+
+// Whole-bundle deploy workloads: the same synthetic composition DAG is
+// deployed four ways — one event-path Deploy per descriptor (the legacy
+// loop), one batched DeployAll with the plan fast path disabled (the
+// event-path reference the plan must match byte for byte), one batched
+// DeployAll that compiles and applies a fresh plan, and one that
+// fast-applies a plan already sitting in a shared cache (the migration
+// and redeploy case). bench.MeasurePlan turns the four walls into the
+// committed BENCH_plan.json and asserts the digests agree.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/osgi"
+	"repro/internal/plan"
+	"repro/internal/rtos"
+)
+
+// PlanDeploySpec sizes one whole-bundle deploy comparison.
+type PlanDeploySpec struct {
+	// Components is the approximate population size; it is rounded to
+	// whole producer→relay→consumers groups (default 100).
+	Components int
+	// FanOut is the number of consumers per relay topic, 1..9 (default 3).
+	FanOut int
+	// Seed drives the simulated kernel (default 1).
+	Seed int64
+	// NumCPUs for the simulated kernel (default 4).
+	NumCPUs int
+	// Reps repeats the whole comparison and keeps the minimum wall per
+	// strategy (default 1). The minimum is the standard noise-robust
+	// wall-clock estimator on a contended host: scheduler preemption and
+	// GC only ever add time. Parity checks must hold on every rep.
+	Reps int
+}
+
+func (s *PlanDeploySpec) applyDefaults() {
+	if s.Components <= 0 {
+		s.Components = 100
+	}
+	if s.FanOut <= 0 {
+		s.FanOut = 3
+	}
+	if s.FanOut > 9 {
+		s.FanOut = 9
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.NumCPUs <= 0 {
+		s.NumCPUs = 4
+	}
+	if s.Reps <= 0 {
+		s.Reps = 1
+	}
+}
+
+// PlanDeployStats reports the four deploy walls plus the parity checks
+// that make them comparable.
+type PlanDeployStats struct {
+	// Components actually built (groups × (FanOut+2)).
+	Components int
+	// PerDescriptorWall times N event-path Deploy calls in topology
+	// order — the legacy whole-bundle treatment.
+	PerDescriptorWall time.Duration
+	// EventBatchWall times one DeployAll with the fast path disabled:
+	// install-all plus a single worklist drain.
+	EventBatchWall time.Duration
+	// PlanColdWall times one DeployAll that compiles the plan first.
+	PlanColdWall time.Duration
+	// PlanWarmWall times one DeployAll against a pre-warmed cache — the
+	// pure apply path a migration target or redeploy sees.
+	PlanWarmWall time.Duration
+	// DigestMatch confirms the plan applies (cold and warm) reproduced
+	// the event-batch run bit for bit: event trace, observability
+	// stream with span IDs and causes, and final states all equal.
+	DigestMatch bool
+	// StateMatch confirms the per-descriptor loop converged to the same
+	// final states (its event interleaving legitimately differs).
+	StateMatch bool
+	// PlanApplied confirms the fast path actually ran on both plan runs
+	// (a silent fallback would time the event path twice).
+	PlanApplied bool
+	// CacheHit confirms the warm run found the shared cache entry
+	// instead of recompiling.
+	CacheHit bool
+}
+
+// buildPlanPopulation renders a feasible composition DAG: producer →
+// relay → FanOut consumers per group, every group admitted at full
+// contract, so the whole batch plan-applies. Unlike the churn
+// population there is no over-budget heavy tail — an admission-denied
+// batch deliberately falls back to the event path.
+func buildPlanPopulation(spec PlanDeploySpec) ([]*descriptor.Component, error) {
+	groups := spec.Components / (spec.FanOut + 2)
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > 999 {
+		groups = 999
+	}
+	var descs []*descriptor.Component
+	add := func(name, src string) error {
+		c, err := descriptor.Parse(src)
+		if err != nil {
+			return fmt.Errorf("workload: plan descriptor %s: %w", name, err)
+		}
+		descs = append(descs, c)
+		return nil
+	}
+	for g := 0; g < groups; g++ {
+		cpu := g % spec.NumCPUs
+		tg := fmt.Sprintf("t%03d", g)
+		ug := fmt.Sprintf("u%03d", g)
+		pn := fmt.Sprintf("p%03d", g)
+		rn := fmt.Sprintf("r%03d", g)
+		if err := add(pn, churnDescriptorXML(pn, cpu, 0.0005, nil, []string{tg})); err != nil {
+			return nil, err
+		}
+		if err := add(rn, churnDescriptorXML(rn, cpu, 0.0005, []string{tg}, []string{ug})); err != nil {
+			return nil, err
+		}
+		for f := 0; f < spec.FanOut; f++ {
+			cn := fmt.Sprintf("c%03dx%d", g, f)
+			if err := add(cn, churnDescriptorXML(cn, cpu, 0.0005, []string{ug}, nil)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return descs, nil
+}
+
+// planDeployRun is one timed deploy of the population on a fresh system.
+type planDeployRun struct {
+	wall        time.Duration
+	traceDigest string
+	obsDigest   string
+	stateDigest string
+	applies     uint64
+	cacheHits   uint64
+}
+
+func runPlanDeployOnce(spec PlanDeploySpec, descs []*descriptor.Component,
+	disableFast, perDescriptor bool, cache *plan.Cache) (planDeployRun, error) {
+	fw := osgi.NewFramework()
+	timing := rtos.TimingModel{}
+	k := rtos.NewKernel(rtos.Config{NumCPUs: spec.NumCPUs, Timing: &timing, Seed: uint64(spec.Seed)})
+	d, err := core.New(fw, k, core.Options{DisablePlanFastPath: disableFast})
+	if err != nil {
+		return planDeployRun{}, err
+	}
+	defer d.Close()
+	if cache != nil {
+		d.SetPlanCache(cache)
+	}
+
+	start := time.Now()
+	if perDescriptor {
+		// Deploy in lexicographic name order — the order bundle adoption
+		// reads resources, which fronts the consumers (c…) before the
+		// producers (p…) and relays (r…), so the waiting set builds up
+		// and every late provider triggers cascade rounds. This is what
+		// the legacy one-deploy-per-descriptor treatment actually paid.
+		ordered := append([]*descriptor.Component(nil), descs...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+		for _, c := range ordered {
+			if err := d.Deploy(c); err != nil {
+				return planDeployRun{}, fmt.Errorf("workload: plan deploy %s: %w", c.Name, err)
+			}
+		}
+	} else {
+		d.DeployAll(descs)
+	}
+	wall := time.Since(start)
+
+	th := sha256.New()
+	for _, ev := range d.Events() {
+		fmt.Fprintf(th, "%d|%s|%v|%v|%s\n", int64(ev.At), ev.Component, ev.From, ev.To, ev.Reason)
+	}
+	sh := sha256.New()
+	for _, info := range d.Components() {
+		fmt.Fprintf(sh, "%s|%v|%v|%s|", info.Name, info.State, info.Revoked, info.LastReason)
+		keys := make([]string, 0, len(info.Bindings))
+		for k := range info.Bindings {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(sh, "%s->%s,", k, info.Bindings[k])
+		}
+		sh.Write([]byte("\n"))
+	}
+	snap := d.Obs().Snapshot()
+	return planDeployRun{
+		wall:        wall,
+		traceDigest: hex.EncodeToString(th.Sum(nil)),
+		obsDigest:   d.Obs().Digest(),
+		stateDigest: hex.EncodeToString(sh.Sum(nil)),
+		applies:     snap.Plan.Applies,
+		cacheHits:   snap.Plan.CacheHits,
+	}, nil
+}
+
+// RunPlanDeploy deploys the same population four ways and compares.
+// With Reps > 1 the comparison repeats and each wall keeps its minimum,
+// while the parity checks must pass on every rep.
+func RunPlanDeploy(spec PlanDeploySpec) (PlanDeployStats, error) {
+	spec.applyDefaults()
+	descs, err := buildPlanPopulation(spec)
+	if err != nil {
+		return PlanDeployStats{}, err
+	}
+	var out PlanDeployStats
+	for rep := 0; rep < spec.Reps; rep++ {
+		st, err := runPlanDeployRep(spec, descs)
+		if err != nil {
+			return PlanDeployStats{}, err
+		}
+		if rep == 0 {
+			out = st
+			continue
+		}
+		out.PerDescriptorWall = minDuration(out.PerDescriptorWall, st.PerDescriptorWall)
+		out.EventBatchWall = minDuration(out.EventBatchWall, st.EventBatchWall)
+		out.PlanColdWall = minDuration(out.PlanColdWall, st.PlanColdWall)
+		out.PlanWarmWall = minDuration(out.PlanWarmWall, st.PlanWarmWall)
+		out.DigestMatch = out.DigestMatch && st.DigestMatch
+		out.StateMatch = out.StateMatch && st.StateMatch
+		out.PlanApplied = out.PlanApplied && st.PlanApplied
+		out.CacheHit = out.CacheHit && st.CacheHit
+	}
+	return out, nil
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// runPlanDeployRep is one full four-way comparison on fresh systems.
+func runPlanDeployRep(spec PlanDeploySpec, descs []*descriptor.Component) (PlanDeployStats, error) {
+	perDesc, err := runPlanDeployOnce(spec, descs, true, true, nil)
+	if err != nil {
+		return PlanDeployStats{}, err
+	}
+	batch, err := runPlanDeployOnce(spec, descs, true, false, nil)
+	if err != nil {
+		return PlanDeployStats{}, err
+	}
+	cold, err := runPlanDeployOnce(spec, descs, false, false, nil)
+	if err != nil {
+		return PlanDeployStats{}, err
+	}
+	// The warm run shares a cache another system already compiled into —
+	// what a redeploy on the same node or a cluster migration target sees.
+	shared := plan.NewCache()
+	warmer, err := runPlanDeployOnce(spec, descs, false, false, shared)
+	if err != nil {
+		return PlanDeployStats{}, err
+	}
+	warm, err := runPlanDeployOnce(spec, descs, false, false, shared)
+	if err != nil {
+		return PlanDeployStats{}, err
+	}
+	if warmer.applies == 0 {
+		return PlanDeployStats{}, fmt.Errorf("workload: cache-warming run fell back to the event path")
+	}
+
+	return PlanDeployStats{
+		Components:        len(descs),
+		PerDescriptorWall: perDesc.wall,
+		EventBatchWall:    batch.wall,
+		PlanColdWall:      cold.wall,
+		PlanWarmWall:      warm.wall,
+		DigestMatch: batch.traceDigest == cold.traceDigest &&
+			batch.obsDigest == cold.obsDigest &&
+			batch.stateDigest == cold.stateDigest &&
+			batch.traceDigest == warm.traceDigest &&
+			batch.obsDigest == warm.obsDigest &&
+			batch.stateDigest == warm.stateDigest,
+		StateMatch:  perDesc.stateDigest == batch.stateDigest,
+		PlanApplied: cold.applies > 0 && warm.applies > 0,
+		CacheHit:    warm.cacheHits > 0,
+	}, nil
+}

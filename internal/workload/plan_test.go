@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/descriptor"
+)
+
+// The edgecluster example's bundles, grouped per node exactly as its
+// console script deploys them. The XML mirrors examples/edgecluster —
+// the canonical "real application" bundle set — so the plan fast path
+// is smoked against descriptors that were not written for it: pinned
+// CPUs, multi-mode contracts, and an aggregator whose inports are
+// remote in the example and therefore stay unsatisfied leftovers here.
+var edgeclusterBundles = map[string][]string{
+	"n0": {`<component name="agg" desc="feed aggregator" type="periodic" cpuusage="0.35">
+  <implementation bincode="edge.Agg"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+  <inport name="c1" interface="RTAI.SHM" type="Integer" size="4"/>
+  <inport name="c2" interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`},
+	"n1": {`<component name="bts1" desc="cell radio 1" type="periodic" cpuusage="0.25">
+  <implementation bincode="edge.BTS"/>
+  <periodictask frequence="200" runoncup="0" priority="3"/>
+  <outport name="c1" interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`,
+		`<component name="codec1" desc="transcoder" type="periodic" cpuusage="0.45">
+  <implementation bincode="edge.Codec"/>
+  <periodictask frequence="50" runoncup="0" priority="6"/>
+</component>`},
+	"n2": {`<component name="bts2" desc="cell radio 2" type="periodic" cpuusage="0.25">
+  <implementation bincode="edge.BTS"/>
+  <periodictask frequence="200" runoncup="0" priority="3"/>
+  <outport name="c2" interface="RTAI.SHM" type="Integer" size="4"/>
+</component>`,
+		`<component name="codec2" desc="transcoder" type="periodic" cpuusage="0.45">
+  <implementation bincode="edge.Codec"/>
+  <periodictask frequence="50" runoncup="0" priority="6"/>
+</component>`},
+	"n3": {`<component name="bts3" desc="cell radio 3" type="periodic" cpuusage="0.30">
+  <implementation bincode="edge.BTS"/>
+  <periodictask frequence="200" runoncup="0" priority="3"/>
+  <outport name="c3" interface="RTAI.SHM" type="Integer" size="4"/>
+  <mode name="eco" frequence="50" cpuusage="0.08"/>
+</component>`,
+		`<component name="bill" desc="billing collector" type="periodic" cpuusage="0.45">
+  <implementation bincode="edge.Bill"/>
+  <periodictask frequence="50" runoncup="0" priority="5"/>
+</component>`},
+}
+
+// TestEdgeclusterBundlePlanDigest compiles and plan-applies each
+// edgecluster node bundle and asserts byte-identical event traces, obs
+// streams, and final states against the batched event path — the CI
+// plan smoke step.
+func TestEdgeclusterBundlePlanDigest(t *testing.T) {
+	for node, xmls := range edgeclusterBundles {
+		t.Run(node, func(t *testing.T) {
+			var descs []*descriptor.Component
+			for _, x := range xmls {
+				c, err := descriptor.Parse(x)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				descs = append(descs, c)
+			}
+			spec := PlanDeploySpec{Components: len(descs), Seed: 21, NumCPUs: 4}
+			spec.applyDefaults()
+			event, err := runPlanDeployOnce(spec, descs, true, false, nil)
+			if err != nil {
+				t.Fatalf("event path: %v", err)
+			}
+			planned, err := runPlanDeployOnce(spec, descs, false, false, nil)
+			if err != nil {
+				t.Fatalf("plan path: %v", err)
+			}
+			if planned.applies == 0 {
+				t.Fatalf("plan fast path fell back on the %s bundle", node)
+			}
+			for _, d := range []struct{ what, a, b string }{
+				{"event trace", event.traceDigest, planned.traceDigest},
+				{"obs stream", event.obsDigest, planned.obsDigest},
+				{"final states", event.stateDigest, planned.stateDigest},
+			} {
+				if d.a != d.b {
+					t.Errorf("%s diverged: event %s != plan %s", d.what, d.a, d.b)
+				}
+			}
+		})
+	}
+}
+
+// TestRunPlanDeployRepsParity pins the rep-merging contract: walls keep
+// their minimum, parity flags must hold on every rep.
+func TestRunPlanDeployRepsParity(t *testing.T) {
+	st, err := RunPlanDeploy(PlanDeploySpec{Components: 40, Seed: 7, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, check := range []struct {
+		what string
+		ok   bool
+	}{
+		{"digest match", st.DigestMatch},
+		{"state match", st.StateMatch},
+		{"plan applied", st.PlanApplied},
+		{"cache hit", st.CacheHit},
+	} {
+		if !check.ok {
+			t.Errorf("%s failed across reps", check.what)
+		}
+	}
+	for _, w := range []struct {
+		what string
+		ns   int64
+	}{
+		{"per-descriptor", st.PerDescriptorWall.Nanoseconds()},
+		{"event batch", st.EventBatchWall.Nanoseconds()},
+		{"plan cold", st.PlanColdWall.Nanoseconds()},
+		{"plan warm", st.PlanWarmWall.Nanoseconds()},
+	} {
+		if w.ns <= 0 {
+			t.Errorf("%s wall not measured: %d", w.what, w.ns)
+		}
+	}
+}
