@@ -10,6 +10,7 @@
 //	         [-ablations] [-faults] [-benchjson FILE]
 //	         [-churn] [-churnjson FILE] [-churnsizes N,N,...] [-churnsteps N]
 //	         [-obs] [-obsjson FILE] [-obssim N]
+//	         [-obs2] [-obs2json FILE] [-obs2sim N]
 //	         [-degrade] [-degradejson FILE]
 //	         [-shards] [-shardjson FILE] [-shardsim N]
 //	         [-cluster] [-clusterjson FILE] [-clustersim N]
@@ -54,6 +55,9 @@ func main() {
 		obsRun     = flag.Bool("obs", false, "run the observability-overhead benchmark (per sampling level)")
 		obsjson    = flag.String("obsjson", "", "write the observability JSON report to this file (implies -obs)")
 		obssim     = flag.Int("obssim", 0, "simulated seconds per obs hot-path run (0 = default 5)")
+		obs2Run    = flag.Bool("obs2", false, "run the federated-observability benchmark (per-shard emission, stitched digest)")
+		obs2json   = flag.String("obs2json", "", "merge the obs2 section into this obs JSON report file (implies -obs2)")
+		obs2sim    = flag.Int("obs2sim", 0, "simulated milliseconds per obs2 campaign run (0 = default 600)")
 		degrade    = flag.Bool("degrade", false, "run the graceful-degradation campaign (mode ladder vs binary baseline)")
 		degradeOut = flag.String("degradejson", "", "write the degradation JSON report to this file (implies -degrade)")
 		shardsRun  = flag.Bool("shards", false, "run the shard-scaling sweep (events/sec per shard count)")
@@ -80,6 +84,9 @@ func main() {
 	if *obsjson != "" {
 		*obsRun = true
 	}
+	if *obs2json != "" {
+		*obs2Run = true
+	}
 	if *degradeOut != "" {
 		*degrade = true
 	}
@@ -93,10 +100,10 @@ func main() {
 		*planRun = true
 	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *degrade, *shardsRun, *clusterRun, *planRun = true, true, true, true, true, true, true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *obs2Run, *degrade, *shardsRun, *clusterRun, *planRun = true, true, true, true, true, true, true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*degrade && !*shardsRun && !*clusterRun && !*planRun && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*obs2Run && !*degrade && !*shardsRun && !*clusterRun && !*planRun && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -111,6 +118,9 @@ func main() {
 	}
 	if *obsRun {
 		runObsJSON(*obsjson, *obssim, *seed)
+	}
+	if *obs2Run {
+		runObs2JSON(*obs2json, *obs2sim, *seed)
 	}
 	if *degrade {
 		runDegradeJSON(*degradeOut, *seed)
@@ -306,6 +316,69 @@ func runObsJSON(path string, simSeconds int, seed uint64) {
 		log.Fatalf("%s failed validation after round trip: %v", path, err)
 	}
 	fmt.Printf("wrote %s (validated)\n", path)
+}
+
+// runObs2JSON runs the federated-observability benchmark: per-shard
+// emission vs the funnel bridge at Full level, latency-histogram
+// quantiles, and the 8-node stitched cross-node digest. With a path it
+// merges the obs2 section into that obs report file (the committed
+// BENCH_obs.json; under -all, runObsJSON has just rewritten it), reads
+// it back and validates it. A missing or unreadable report file is
+// regenerated from scratch first so -obs2json stands alone.
+func runObs2JSON(path string, simMillis int, seed uint64) {
+	cfg := bench.Obs2Config{Seed: seed}
+	if simMillis > 0 {
+		cfg.RunFor = time.Duration(simMillis) * time.Millisecond
+	}
+	rep, err := bench.MeasureObs2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatObs2(rep))
+	if err := rep.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if path == "" {
+		return
+	}
+	var outer bench.ObsReport
+	existing, err := os.ReadFile(path)
+	if err == nil {
+		err = json.Unmarshal(existing, &outer)
+	}
+	if err != nil {
+		fmt.Printf("%s missing or unreadable; regenerating the obs report first\n", path)
+		outer, err = bench.MeasureObs(bench.ObsConfig{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	outer.Obs2 = &rep
+	if err := outer.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	data, err := outer.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var round bench.ObsReport
+	if err := json.Unmarshal(written, &round); err != nil {
+		log.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if err := round.Validate(); err != nil {
+		log.Fatalf("%s failed validation after round trip: %v", path, err)
+	}
+	if round.Obs2 == nil {
+		log.Fatalf("%s lost the obs2 section in the round trip", path)
+	}
+	fmt.Printf("wrote %s (obs2 section merged, validated)\n", path)
 }
 
 // runDegradeJSON runs the degradation campaign with and without the mode

@@ -82,6 +82,10 @@ type ObsReport struct {
 	Seed       uint64         `json:"seed"`
 	Levels     []ObsLevelPerf `json:"levels"`
 	Campaign   ObsCampaignPin `json:"campaign"`
+	// Obs2 is the federated-observability section (-obs2): per-shard
+	// emission vs funnel, latency quantiles, stitched cluster digest.
+	// Omitted until cmd/latbench -obs2json has merged it in.
+	Obs2 *Obs2Report `json:"obs2,omitempty"`
 }
 
 // MeasureObs runs the reference workloads at every sampling level and
@@ -216,6 +220,11 @@ func (r ObsReport) Validate() error {
 	}
 	if !r.Campaign.Repeatable {
 		return errors.New("obs report: campaign span digest not repeatable across runs")
+	}
+	if r.Obs2 != nil {
+		if err := r.Obs2.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Federated-observability benchmark (the -obs2 row of BENCH_obs.json):
+// per-shard span emission vs the funnel bridge at the Full level on the
+// sharded fault campaign, the latency-histogram quantiles the planes
+// now collect, the allocation cost of one histogram record, and the
+// 8-node cluster's stitched cross-node trace digest.
+
+// Obs2Config sizes MeasureObs2. The zero value selects the reference
+// configuration the committed BENCH_obs.json baseline uses.
+type Obs2Config struct {
+	// Seed drives everything (default 1).
+	Seed uint64
+	// RunFor is the simulated length of each sharded campaign run
+	// (default 600ms).
+	RunFor time.Duration
+	// ClusterRunFor is the simulated length of the 8-node stitched
+	// campaign (default 120ms).
+	ClusterRunFor time.Duration
+}
+
+func (c *Obs2Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RunFor <= 0 {
+		c.RunFor = 600 * time.Millisecond
+	}
+	if c.ClusterRunFor <= 0 {
+		c.ClusterRunFor = 120 * time.Millisecond
+	}
+}
+
+// Obs2ShardRow compares the two Full-level emission paths at one shard
+// count on the same seeded campaign.
+type Obs2ShardRow struct {
+	Shards int `json:"shards"`
+	// FunnelWallNS / ShardWallNS are the campaign wall times with the
+	// funnel bridge forced vs the per-shard emitters.
+	FunnelWallNS int64 `json:"funnel_wall_ns"`
+	ShardWallNS  int64 `json:"shard_wall_ns"`
+	// Speedup is funnel/shard wall; below ~1 on single-core hosts, where
+	// shard goroutines serialise anyway.
+	Speedup float64 `json:"speedup"`
+	// DigestMatch confirms the per-shard run reproduced the funnel's
+	// span digest AND stream digest byte for byte.
+	DigestMatch bool   `json:"digest_match"`
+	Spans       uint64 `json:"spans"`
+}
+
+// Obs2ClusterPin fingerprints the 8-node stitched campaign.
+type Obs2ClusterPin struct {
+	// StitchDigest pins the cross-node causal chains; Repeatable
+	// confirms a second run agreed byte for byte.
+	StitchDigest string `json:"stitch_digest"`
+	Repeatable   bool   `json:"repeatable"`
+	// Latency is the cluster-merged histogram summary (wall and
+	// simulated distributions; reported, never digested).
+	Latency []obs.LatencyStat `json:"latency"`
+}
+
+// Obs2Report is the federated-observability section of BENCH_obs.json.
+type Obs2Report struct {
+	// SingleCoreHost flags runs where runtime.NumCPU()==1: shard-emission
+	// speedups are not meaningful there, only the digest matches are.
+	SingleCoreHost bool           `json:"single_core_host"`
+	Rows           []Obs2ShardRow `json:"rows"`
+	// Latency is the fault campaign's histogram summary at the default
+	// sampling level (resolve / deploy / plan-apply wall quantiles).
+	Latency []obs.LatencyStat `json:"latency"`
+	// AllocsPerRecord is the measured allocation cost of one
+	// Plane.RecordLatency call (must be ~0).
+	AllocsPerRecord float64        `json:"allocs_per_record"`
+	Cluster         Obs2ClusterPin `json:"cluster"`
+}
+
+// MeasureObs2 runs the federated-observability benchmark.
+func MeasureObs2(cfg Obs2Config) (Obs2Report, error) {
+	cfg.applyDefaults()
+	rep := Obs2Report{SingleCoreHost: runtime.NumCPU() == 1}
+
+	base := workload.FaultCampaignConfig{
+		Seed: cfg.Seed, RunFor: cfg.RunFor, Guarded: true,
+		NumCPUs: 8, Replicas: 7, ObsLevel: obs.Full,
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		funnelCfg := base
+		funnelCfg.Shards = shards
+		funnelCfg.SchedFunnel = true
+		funnelStart := time.Now()
+		funnel, err := workload.RunFaultCampaign(funnelCfg)
+		if err != nil {
+			return Obs2Report{}, fmt.Errorf("bench: obs2 funnel shards=%d: %w", shards, err)
+		}
+		funnelWall := time.Since(funnelStart)
+
+		shardCfg := base
+		shardCfg.Shards = shards
+		shardStart := time.Now()
+		sharded, err := workload.RunFaultCampaign(shardCfg)
+		if err != nil {
+			return Obs2Report{}, fmt.Errorf("bench: obs2 per-shard shards=%d: %w", shards, err)
+		}
+		shardWall := time.Since(shardStart)
+
+		row := Obs2ShardRow{
+			Shards:       shards,
+			FunnelWallNS: funnelWall.Nanoseconds(),
+			ShardWallNS:  shardWall.Nanoseconds(),
+			DigestMatch: funnel.SpanDigest == sharded.SpanDigest &&
+				funnel.StreamDigest == sharded.StreamDigest,
+			Spans: sharded.SpanCount,
+		}
+		if shardWall > 0 {
+			row.Speedup = float64(funnelWall) / float64(shardWall)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// Latency quantiles: one campaign at the default sampling level, the
+	// configuration operators actually run.
+	lat, err := workload.RunFaultCampaign(workload.FaultCampaignConfig{
+		Seed: cfg.Seed, RunFor: cfg.RunFor, Guarded: true,
+	})
+	if err != nil {
+		return Obs2Report{}, fmt.Errorf("bench: obs2 latency campaign: %w", err)
+	}
+	rep.Latency = lat.Obs.Latency
+
+	// Allocation cost of one histogram record.
+	p := obs.NewPlane(obs.Options{})
+	p.RecordLatency(obs.LatResolve, 1) // warm (no-op: the array is inline)
+	const records = 200_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < records; i++ {
+		p.RecordLatency(obs.LatResolve, int64(i)+1)
+	}
+	runtime.ReadMemStats(&after)
+	rep.AllocsPerRecord = float64(after.Mallocs-before.Mallocs) / float64(records)
+
+	// The 8-node stitched campaign, twice, for the repeatability bit.
+	clusterSpec := workload.ClusterSpec{
+		Nodes: 8, Seed: cfg.Seed, NumCPUs: 2, RunFor: cfg.ClusterRunFor,
+	}
+	first, err := workload.RunClusterCampaign(clusterSpec)
+	if err != nil {
+		return Obs2Report{}, fmt.Errorf("bench: obs2 cluster: %w", err)
+	}
+	second, err := workload.RunClusterCampaign(clusterSpec)
+	if err != nil {
+		return Obs2Report{}, fmt.Errorf("bench: obs2 cluster repeat: %w", err)
+	}
+	rep.Cluster = Obs2ClusterPin{
+		StitchDigest: first.StitchDigest,
+		Repeatable:   first.StitchDigest == second.StitchDigest,
+		Latency:      first.Latency,
+	}
+	return rep, nil
+}
+
+// Validate checks the structural invariants of the obs2 section.
+func (r Obs2Report) Validate() error {
+	if len(r.Rows) != 4 {
+		return fmt.Errorf("obs2 report: %d shard rows, want 4 (1/2/4/8)", len(r.Rows))
+	}
+	want := []int{1, 2, 4, 8}
+	for i, row := range r.Rows {
+		if row.Shards != want[i] {
+			return fmt.Errorf("obs2 report: row %d has shards=%d, want %d", i, row.Shards, want[i])
+		}
+		if !row.DigestMatch {
+			return fmt.Errorf("obs2 report: shards=%d per-shard emission diverged from the funnel", row.Shards)
+		}
+		if row.Spans == 0 || row.FunnelWallNS <= 0 || row.ShardWallNS <= 0 {
+			return fmt.Errorf("obs2 report: shards=%d row incomplete: %+v", row.Shards, row)
+		}
+	}
+	if len(r.Latency) == 0 {
+		return errors.New("obs2 report: no latency distributions recorded")
+	}
+	seen := map[string]bool{}
+	for _, st := range r.Latency {
+		if st.Count == 0 {
+			return fmt.Errorf("obs2 report: latency %q listed with zero samples", st.Name)
+		}
+		if st.P50NS > st.P95NS || st.P95NS > st.P99NS || st.P99NS > st.MaxNS {
+			return fmt.Errorf("obs2 report: latency %q quantiles out of order: %+v", st.Name, st)
+		}
+		seen[st.Name] = true
+	}
+	for _, name := range []string{"resolve", "deploy"} {
+		if !seen[name] {
+			return fmt.Errorf("obs2 report: latency summary missing %q", name)
+		}
+	}
+	if r.AllocsPerRecord > 0.001 {
+		return fmt.Errorf("obs2 report: histogram record path allocates (%.4f allocs/record)", r.AllocsPerRecord)
+	}
+	if len(r.Cluster.StitchDigest) != 64 {
+		return fmt.Errorf("obs2 report: stitched digest %q is not a sha256 hex", r.Cluster.StitchDigest)
+	}
+	if !r.Cluster.Repeatable {
+		return errors.New("obs2 report: stitched digest not repeatable across runs")
+	}
+	return nil
+}
+
+// FormatObs2 renders the obs2 section for terminal output.
+func FormatObs2(r Obs2Report) string {
+	var b strings.Builder
+	b.WriteString("Federated observability — per-shard emission vs funnel at Full level\n")
+	if r.SingleCoreHost {
+		b.WriteString("(single-core host: digest matches are meaningful, speedups are not)\n")
+	}
+	fmt.Fprintf(&b, "%7s %12s %12s %8s %7s %10s\n",
+		"shards", "funnel ms", "shard ms", "speedup", "match", "spans")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7d %12.2f %12.2f %8.2f %7v %10d\n",
+			row.Shards, float64(row.FunnelWallNS)/1e6, float64(row.ShardWallNS)/1e6,
+			row.Speedup, row.DigestMatch, row.Spans)
+	}
+	b.WriteString("latency histograms (default level, fault campaign):\n")
+	for _, st := range r.Latency {
+		fmt.Fprintf(&b, "  %-18s n=%-6d p50 %-10v p95 %-10v p99 %-10v max %v\n",
+			st.Name, st.Count, time.Duration(st.P50NS), time.Duration(st.P95NS),
+			time.Duration(st.P99NS), time.Duration(st.MaxNS))
+	}
+	fmt.Fprintf(&b, "histogram record: %.4f allocs/record\n", r.AllocsPerRecord)
+	fmt.Fprintf(&b, "cluster stitched digest %s (repeatable=%v)\n",
+		r.Cluster.StitchDigest, r.Cluster.Repeatable)
+	if len(r.Cluster.Latency) > 0 {
+		b.WriteString("cluster latency (merged):\n")
+		for _, st := range r.Cluster.Latency {
+			fmt.Fprintf(&b, "  %-18s n=%-6d p50 %-10v p99 %-10v max %v\n",
+				st.Name, st.Count, time.Duration(st.P50NS), time.Duration(st.P99NS),
+				time.Duration(st.MaxNS))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestMeasureObs2Small(t *testing.T) {
+	rep, err := MeasureObs2(Obs2Config{
+		RunFor: 300 * time.Millisecond, ClusterRunFor: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("MeasureObs2: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if FormatObs2(rep) == "" {
+		t.Error("FormatObs2 returned empty string")
+	}
+	// Riding inside an ObsReport, the section must survive a JSON
+	// round-trip and keep the outer Validate green.
+	outer, err := MeasureObs(ObsConfig{SimSeconds: 1, ChurnComponents: 40, ChurnSteps: 60})
+	if err != nil {
+		t.Fatalf("MeasureObs: %v", err)
+	}
+	outer.Obs2 = &rep
+	enc, err := outer.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Obs2 == nil {
+		t.Fatal("obs2 section lost in the round-trip")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("Validate after round-trip: %v", err)
+	}
+}
+
+func TestObs2ValidateRejectsBroken(t *testing.T) {
+	rep, err := MeasureObs2(Obs2Config{
+		RunFor: 300 * time.Millisecond, ClusterRunFor: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("MeasureObs2: %v", err)
+	}
+	broken := rep
+	broken.Rows = append([]Obs2ShardRow(nil), rep.Rows...)
+	broken.Rows[2].DigestMatch = false
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a digest mismatch")
+	}
+	broken = rep
+	broken.Rows = rep.Rows[:3]
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a missing shard row")
+	}
+	broken = rep
+	broken.AllocsPerRecord = 1.5
+	if broken.Validate() == nil {
+		t.Error("Validate accepted an allocating record path")
+	}
+	broken = rep
+	broken.Cluster.Repeatable = false
+	if broken.Validate() == nil {
+		t.Error("Validate accepted a non-repeatable stitched digest")
+	}
+	broken = rep
+	broken.Latency = nil
+	if broken.Validate() == nil {
+		t.Error("Validate accepted an empty latency summary")
+	}
+}

@@ -199,6 +199,10 @@ type Cluster struct {
 	cooldown map[string]sim.Time
 	// partSpans chains each partition's heal span to its cut span.
 	partSpans map[int]obs.SpanID
+	// migStart records when a network migration was decided, per
+	// component; the barrier sweep records the end-to-end sim latency
+	// once the component is admitted on its catalog node.
+	migStart map[string]sim.Time
 	// planCache is shared by every node's DRCR: a composition plan the
 	// leader compiles for a migration batch is found by key on the
 	// receiving node and applied without recompiling.
@@ -220,11 +224,12 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:        cfg,
 		net:        nw,
-		plane:      obs.NewPlane(obs.Options{Level: cfg.ObsLevel}),
+		plane:      obs.NewPlane(obs.Options{Level: cfg.ObsLevel, Node: "cluster"}),
 		step:       sim.Duration(nw.Lookahead()),
 		placements: map[string]*placement{},
 		cooldown:   map[string]sim.Time{},
 		partSpans:  map[int]obs.SpanID{},
+		migStart:   map[string]sim.Time{},
 		planCache:  plan.NewCache(),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -234,7 +239,7 @@ func New(cfg Config) (*Cluster, error) {
 			Shards:  cfg.Shards,
 			Seed:    root.Uint64(),
 		})
-		plane := obs.NewPlane(obs.Options{Level: cfg.ObsLevel})
+		plane := obs.NewPlane(obs.Options{Level: cfg.ObsLevel, Node: nodeName(i)})
 		d, err := core.New(fw, kernel, core.Options{
 			Obs:        plane,
 			ExecJitter: cfg.ExecJitter,
@@ -409,6 +414,38 @@ func (c *Cluster) atBarrier(b sim.Time) {
 		if n.leader == n.id {
 			c.leaderDuties(b, n)
 		}
+	}
+
+	// 6. Close out migrations whose component is admitted at its
+	// catalog node: record the end-to-end sim latency.
+	c.checkMigrations(b)
+}
+
+// checkMigrations sweeps the open migration set: a component admitted
+// (ACTIVE or SUSPENDED) on its catalog node completes its migration,
+// and the decision-to-admission sim time lands in the cluster plane's
+// migrate-e2e histogram.
+func (c *Cluster) checkMigrations(b sim.Time) {
+	if len(c.migStart) == 0 {
+		return
+	}
+	names := make([]string, 0, len(c.migStart))
+	for name := range c.migStart {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pl := c.placements[name]
+		if pl == nil {
+			delete(c.migStart, name)
+			continue
+		}
+		info, ok := c.nodes[pl.node].drcr.Component(name)
+		if !ok || (info.State != core.Active && info.State != core.Suspended) {
+			continue
+		}
+		c.plane.RecordLatency(obs.LatMigrate, int64(b.Sub(c.migStart[name])))
+		delete(c.migStart, name)
 	}
 }
 

@@ -270,7 +270,11 @@ func (c *Cluster) deliverProvision(b sim.Time, n *Node, m net.Message) {
 			return
 		}
 		n.installed[key] = port
-		c.plane.Recv(b, origin, nodeName(m.Src), n.Name(), "provision on "+topic, obs.SpanID(m.Cause))
+		recv := c.plane.Recv(b, origin, nodeName(m.Src), n.Name(), "provision on "+topic, obs.SpanID(m.Cause))
+		// Node-local effects of the arrival chain back to the cluster
+		// Recv span through the stitch table (cross-node Why).
+		n.plane.SetRemoteCause(obs.Ref{Node: "cluster", ID: recv})
+		defer n.plane.ClearRemoteCause()
 		if port.Interface == descriptor.SHM {
 			if n.replicas[topic] == 0 {
 				// Replica only if no local transport already carries the
@@ -299,7 +303,9 @@ func (c *Cluster) uninstallProvision(b sim.Time, n *Node, key expKey, fromNode s
 	}
 	delete(n.installed, key)
 	topic, origin, _ := strings.Cut(string(key), "|")
-	c.plane.Recv(b, origin, fromNode, n.Name(), "provision off "+topic, cause)
+	recv := c.plane.Recv(b, origin, fromNode, n.Name(), "provision off "+topic, cause)
+	n.plane.SetRemoteCause(obs.Ref{Node: "cluster", ID: recv})
+	defer n.plane.ClearRemoteCause()
 	if port.Interface == descriptor.SHM && n.replicas[topic] > 0 {
 		n.replicas[topic]--
 		if n.replicas[topic] == 0 {
@@ -327,11 +333,18 @@ func (c *Cluster) deliverData(n *Node, m net.Message) {
 	_ = shm.WriteAll(data)
 }
 
-// deliverControl executes a leader command on this node.
+// deliverControl executes a leader command on this node. The node-local
+// effect runs under an ambient remote cause naming the cluster Recv
+// span, so the destination plane's spans stitch back across the network
+// hop to the leader's decision.
 func (c *Cluster) deliverControl(b sim.Time, n *Node, m net.Message) {
-	c.plane.Recv(b, m.Topic, nodeName(m.Src), n.Name(), m.Note, obs.SpanID(m.Cause))
+	recv := c.plane.Recv(b, m.Topic, nodeName(m.Src), n.Name(), m.Note, obs.SpanID(m.Cause))
+	n.plane.SetRemoteCause(obs.Ref{Node: "cluster", ID: recv})
+	defer n.plane.ClearRemoteCause()
 	switch m.Note {
 	case "revoke":
+		// Propagation latency: leader send instant → applied here.
+		c.plane.RecordLatency(obs.LatRevoke, int64(b.Sub(m.SentAt)))
 		_ = n.drcr.RevokeBudget(m.Topic, "cluster revocation")
 	case "restore":
 		_ = n.drcr.RestoreBudget(m.Topic)

@@ -118,6 +118,7 @@ func (c *Cluster) onNodeLoss(b sim.Time, leader *Node, lost int) {
 		}
 		pl.node = target
 		c.cooldown[name] = b
+		c.migStart[name] = b
 		cause := c.plane.Place(b, name, nodeName(target), "re-placed after node loss", span)
 		ev := batches[target]
 		if ev == nil {
@@ -273,6 +274,9 @@ func (c *Cluster) leaderDuties(b sim.Time, leader *Node) {
 				continue
 			}
 			c.cooldown[name] = b
+			// Split-brain guard trip: a stale partition-era duplicate is
+			// being reconciled away — freeze the flight recorder around it.
+			c.plane.TriggerFlight("split-brain-"+name, b)
 			span := c.plane.Migrate(b, name, nodeName(id), nodeName(pl.node),
 				"reconcile: catalog places it on "+nodeName(pl.node), 0)
 			c.removeFrom(b, leader, id, name, span)
@@ -310,6 +314,7 @@ func (c *Cluster) leaderDuties(b sim.Time, leader *Node) {
 			}
 			pl.node = target
 			c.cooldown[name] = b
+			c.migStart[name] = b
 			span := c.plane.Migrate(b, name, nodeName(id), nodeName(target),
 				fmt.Sprintf("degraded to mode %d; spare budget on %s", mode, nodeName(target)), 0)
 			c.removeFrom(b, leader, id, name, span)

@@ -141,6 +141,47 @@ deploy prod.xml n5
 	}
 }
 
+// Cluster mode serves spans/why/watch/metrics/flightrec from the
+// federated planes; why stitches across the network (the chain behind
+// a provisioned component reaches back to the cluster control plane)
+// and names may be node-qualified.
+func TestClusterSessionFederatedObservability(t *testing.T) {
+	c, out := newClusterConsole(t, 3)
+	script := `
+deploy prod.xml n0
+deploy cons.xml n1
+run 40ms
+spans n0 5
+spans 3
+why cons
+why n1/cons
+why node1/cons
+watch 20ms n1
+metrics
+flightrec
+why n9/cons
+`
+	if err := c.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"spans shown on n0",
+		"spans shown on cluster",
+		"[n1]",      // why cons resolves to the placement node
+		"[cluster]", // ... and stitches across the provision hop
+		"watched 20ms",
+		"level sampled", // cluster snapshot header line
+		"cluster latency (merged):",
+		"no flight dumps",
+		`no plane "n9"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("federated observability output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 // The component table renders bindings in explicit port-name order.
 func TestListBindingsSorted(t *testing.T) {
 	got := formatBindings(map[string]string{"zz": "a", "aa": "b", "mm": "c"})

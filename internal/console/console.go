@@ -79,7 +79,8 @@ func (c *Console) Exec(line string) (quit bool) {
 	var err error
 	if c.sys == nil {
 		switch cmd {
-		case "help", "quit", "exit", "run", "deploy", "remove", "nodes", "links", "migrate":
+		case "help", "quit", "exit", "run", "deploy", "remove", "nodes", "links", "migrate",
+			"spans", "why", "watch", "metrics", "flightrec":
 		default:
 			fmt.Fprintf(c.out, "error: %q needs a single-node system; this console drives a cluster (try nodes, links, migrate)\n", cmd)
 			return false
@@ -118,6 +119,8 @@ func (c *Console) Exec(line string) (quit bool) {
 		c.metrics()
 	case "watch":
 		err = c.watch(args)
+	case "flightrec":
+		err = c.flightrec(args)
 	case "timeline":
 		fmt.Fprint(c.out, bench.Timeline(c.sys.Events()))
 	case "latency":
@@ -163,6 +166,7 @@ func (c *Console) printHelp() {
   why <component>         causal chain behind a component's latest span
   metrics                 observability metrics snapshot
   watch <duration>        run + print the spans the interval produced
+  flightrec [name]        flight-recorder dumps: list all, or print one
   timeline                per-component state strips
   latency                 per-task scheduling latency rows
   view                    admission view (budgets per CPU)
@@ -174,6 +178,9 @@ func (c *Console) printHelp() {
   links                   network ledger and per-pair partition status
   migrate <name> <node>   move a component to an explicit node
   quit                    end the session
+cluster mode: spans/why/watch/metrics/flightrec read the federated
+planes; names may be node-qualified (why n2/decoder, spans n1 10,
+watch 40ms n0). Plain names stitch across nodes.
 `)
 }
 
@@ -479,7 +486,17 @@ func (c *Console) whyColumn(o drcom.Observer, s drcom.Span) string {
 }
 
 // spans prints the most recent n retained spans, all kinds included.
+// In cluster mode an optional leading node argument ("n2", "node2",
+// "cluster") selects the plane; the default is the cluster plane.
 func (c *Console) spans(args []string) error {
+	if c.sys == nil && len(args) > 0 {
+		if _, err := strconv.Atoi(args[0]); err != nil {
+			return c.spansCluster(args[0], args[1:])
+		}
+	}
+	if c.sys == nil {
+		return c.spansCluster("cluster", args)
+	}
 	n := 20
 	switch len(args) {
 	case 0:
@@ -505,10 +522,15 @@ func (c *Console) spans(args []string) error {
 }
 
 // why prints the causal chain ending at a component's latest span,
-// consequence first.
+// consequence first. In cluster mode the chain is stitched across
+// node boundaries; a node-qualified name ("n2/decoder") pins the
+// plane the walk starts on.
 func (c *Console) why(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: why <component>")
+		return fmt.Errorf("usage: why [node/]component")
+	}
+	if c.sys == nil {
+		return c.whyCluster(args[0])
 	}
 	chain := c.sys.Observer().Why(args[0])
 	if len(chain) == 0 {
@@ -523,7 +545,13 @@ func (c *Console) why(args []string) error {
 
 // metrics prints the observability snapshot, plus the compiled-plan
 // cache counters (lookups live outside the obs plane, in the cache).
+// Cluster mode prints the control-plane snapshot and the latency
+// summary merged across every node's histograms.
 func (c *Console) metrics() {
+	if c.sys == nil {
+		c.metricsCluster()
+		return
+	}
 	fmt.Fprint(c.out, c.sys.Observer().Snapshot().Format())
 	if hits, misses, size := c.sys.DRCR().PlanCache().Stats(); hits+misses+uint64(size) > 0 {
 		fmt.Fprintf(c.out, "  plan cache: %d hits, %d misses, %d entries\n", hits, misses, size)
@@ -531,8 +559,13 @@ func (c *Console) metrics() {
 }
 
 // watch advances simulated time and prints every span the interval
-// produced (scheduler bridge spans summarised, not listed).
+// produced (scheduler bridge spans summarised, not listed). Cluster
+// mode watches every plane, or one when a node argument follows the
+// duration (watch 40ms n2).
 func (c *Console) watch(args []string) error {
+	if c.sys == nil {
+		return c.watchCluster(args)
+	}
 	if len(args) != 1 {
 		return fmt.Errorf("usage: watch <duration>")
 	}
@@ -722,6 +755,201 @@ func (c *Console) linksCmd() error {
 	}
 	if cut == 0 {
 		fmt.Fprintf(c.out, "all %d links up\n", c.cl.Nodes()*(c.cl.Nodes()-1)/2)
+	}
+	return nil
+}
+
+// planeNames lists the federation's planes in render order: the
+// cluster control plane first, then nodes by id.
+func (c *Console) planeNames() []string {
+	names := make([]string, 0, c.cl.Nodes()+1)
+	names = append(names, "cluster")
+	for i := 0; i < c.cl.Nodes(); i++ {
+		names = append(names, fmt.Sprintf("n%d", i))
+	}
+	return names
+}
+
+// normalizeNode canonicalises a plane qualifier: "cluster", "n2" and
+// "node2" are accepted; the canonical plane key comes back.
+func (c *Console) normalizeNode(s string) (string, error) {
+	if s == "cluster" {
+		return s, nil
+	}
+	q := strings.TrimPrefix(s, "node")
+	if q == s {
+		q = strings.TrimPrefix(s, "n")
+	}
+	id, err := strconv.Atoi(q)
+	if err != nil || id < 0 || id >= c.cl.Nodes() {
+		return "", fmt.Errorf("no plane %q (cluster, n0..n%d)", s, c.cl.Nodes()-1)
+	}
+	return fmt.Sprintf("n%d", id), nil
+}
+
+// splitNodeQualified splits "n2/decoder" into plane and component;
+// a bare name comes back with an empty plane.
+func splitNodeQualified(s string) (node, comp string) {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return "", s
+}
+
+// spansCluster prints the last n retained spans of one plane.
+func (c *Console) spansCluster(node string, rest []string) error {
+	node, err := c.normalizeNode(node)
+	if err != nil {
+		return err
+	}
+	n := 20
+	switch len(rest) {
+	case 0:
+	case 1:
+		v, err := strconv.Atoi(rest[0])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("usage: spans [node] [n]")
+		}
+		n = v
+	default:
+		return fmt.Errorf("usage: spans [node] [n]")
+	}
+	p := c.cl.Planes()[node]
+	all := p.Spans()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	for _, s := range all {
+		fmt.Fprintf(c.out, "[%s] %s\n", node, s)
+	}
+	fmt.Fprintf(c.out, "%d spans shown on %s, %d emitted\n", len(all), node, uint64(p.NextID())-1)
+	return nil
+}
+
+// whyCluster prints a stitched causal chain, each hop tagged with the
+// plane it was recorded on.
+func (c *Console) whyCluster(arg string) error {
+	node, comp := splitNodeQualified(arg)
+	var chain []obs.StitchedSpan
+	if node == "" {
+		chain = c.cl.Why(comp)
+	} else {
+		canon, err := c.normalizeNode(node)
+		if err != nil {
+			return err
+		}
+		chain = c.cl.WhyOn(canon, comp)
+	}
+	if len(chain) == 0 {
+		return fmt.Errorf("no spans recorded for %q", arg)
+	}
+	fmt.Fprintf(c.out, "[%s] %s\n", chain[0].Node, chain[0].Span)
+	for _, s := range chain[1:] {
+		fmt.Fprintf(c.out, "  <- [%s] %s\n", s.Node, s.Span)
+	}
+	return nil
+}
+
+// watchCluster advances the federation and prints what each plane
+// recorded during the interval.
+func (c *Console) watchCluster(args []string) error {
+	if len(args) != 1 && len(args) != 2 {
+		return fmt.Errorf("usage: watch <duration> [node]")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil {
+		return err
+	}
+	names := c.planeNames()
+	if len(args) == 2 {
+		node, err := c.normalizeNode(args[1])
+		if err != nil {
+			return err
+		}
+		names = []string{node}
+	}
+	planes := c.cl.Planes()
+	from := make(map[string]obs.SpanID, len(names))
+	for _, name := range names {
+		from[name] = planes[name].NextID()
+	}
+	if err := c.cl.Run(d); err != nil {
+		return err
+	}
+	total, sched := 0, 0
+	for _, name := range names {
+		fresh := planes[name].SpansSince(from[name])
+		total += len(fresh)
+		for _, s := range fresh {
+			if s.Kind == obs.KindSched {
+				sched++
+				continue
+			}
+			fmt.Fprintf(c.out, "[%s] %s\n", name, s)
+		}
+	}
+	fmt.Fprintf(c.out, "watched %v: %d new spans", d, total)
+	if sched > 0 {
+		fmt.Fprintf(c.out, " (%d sched)", sched)
+	}
+	fmt.Fprintln(c.out)
+	return nil
+}
+
+// metricsCluster prints the control-plane snapshot and the latency
+// summary merged over every plane's histograms.
+func (c *Console) metricsCluster() {
+	fmt.Fprint(c.out, c.cl.Planes()["cluster"].Snapshot().Format())
+	stats := c.cl.LatencyStats()
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintln(c.out, "cluster latency (merged):")
+	for _, st := range stats {
+		fmt.Fprintf(c.out, "  %-18s n=%-6d p50 %-10v p95 %-10v p99 %-10v max %v\n",
+			st.Name, st.Count, time.Duration(st.P50NS), time.Duration(st.P95NS),
+			time.Duration(st.P99NS), time.Duration(st.MaxNS))
+	}
+}
+
+// flightrec lists the retained flight-recorder dumps, or prints one
+// dump's frozen span window by name. Cluster mode gathers dumps from
+// every plane under node-qualified names.
+func (c *Console) flightrec(args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("usage: flightrec [name]")
+	}
+	var dumps []obs.FlightDump
+	if c.sys == nil {
+		dumps = c.cl.FlightDumps()
+	} else {
+		dumps = c.sys.Observer().FlightDumps()
+	}
+	if len(args) == 1 {
+		for _, d := range dumps {
+			if d.Name != args[0] {
+				continue
+			}
+			fmt.Fprintf(c.out, "%s: at=%v trigger=%d spans=%d\n",
+				d.Name, time.Duration(d.At), d.Trigger, len(d.Spans))
+			for _, s := range d.Spans {
+				fmt.Fprintf(c.out, "  %s\n", s)
+			}
+			return nil
+		}
+		return fmt.Errorf("no flight dump %q", args[0])
+	}
+	if len(dumps) == 0 {
+		fmt.Fprintln(c.out, "no flight dumps")
+		return nil
+	}
+	for _, d := range dumps {
+		open := ""
+		if !d.Complete() {
+			open = " (open)"
+		}
+		fmt.Fprintf(c.out, "%s: at=%v trigger=%d spans=%d%s\n",
+			d.Name, time.Duration(d.At), d.Trigger, len(d.Spans), open)
 	}
 	return nil
 }

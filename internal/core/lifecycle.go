@@ -9,6 +9,7 @@ import (
 	"repro/internal/descriptor"
 	"repro/internal/hrc"
 	"repro/internal/ldap"
+	"repro/internal/obs"
 	"repro/internal/osgi"
 	"repro/internal/rtos"
 )
@@ -22,6 +23,8 @@ var (
 // Deploy registers a component descriptor directly (no bundle) and runs
 // resolution. The descriptor must already be validated by Parse.
 func (d *DRCR) Deploy(desc *descriptor.Component) error {
+	start := time.Now()
+	defer func() { d.obs.RecordLatency(obs.LatDeploy, time.Since(start).Nanoseconds()) }()
 	if desc != nil && d.cones != nil {
 		t := d.cones.lockWiring(desc.CPU(), portKeysOf(desc))
 		defer d.cones.unlock(t)

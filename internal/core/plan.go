@@ -16,6 +16,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/descriptor"
 	"repro/internal/obs"
@@ -125,6 +126,8 @@ func (d *DRCR) extProvidersLocked() []plan.ExtProvider {
 // exactly a bundle adoption without the bundle. The cluster's
 // migration/evacuation batches land here.
 func (d *DRCR) DeployAll(descs []*descriptor.Component) {
+	start := time.Now()
+	defer func() { d.obs.RecordLatency(obs.LatDeploy, time.Since(start).Nanoseconds()) }()
 	t := d.cones.lockAll()
 	defer d.cones.unlock(t)
 	d.deployBatchLocked(descs, nil)
@@ -133,7 +136,9 @@ func (d *DRCR) DeployAll(descs []*descriptor.Component) {
 // deployBatchLocked runs under the all-stripes lock: plan fast path or
 // install-all + one drain.
 func (d *DRCR) deployBatchLocked(descs []*descriptor.Component, b *osgi.Bundle) {
+	planStart := time.Now()
 	if d.tryApplyPlan(descs, b) {
+		d.obs.RecordLatency(obs.LatPlanApply, time.Since(planStart).Nanoseconds())
 		// Listeners may have staged work mid-apply; drain it.
 		d.resolveDelta()
 		return

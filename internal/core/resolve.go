@@ -29,8 +29,10 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/descriptor"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -60,7 +62,9 @@ func (d *DRCR) runResolve(full bool) {
 	}
 	d.resolving = true
 	d.mu.Unlock()
+	start := time.Now()
 	defer func() {
+		d.obs.RecordLatency(obs.LatResolve, time.Since(start).Nanoseconds())
 		d.mu.Lock()
 		d.resolving = false
 		d.mu.Unlock()

@@ -213,6 +213,19 @@ type Options struct {
 	// Capacity is the span ring size (default 8192). Old spans are
 	// evicted by ID; the running digests are unaffected by eviction.
 	Capacity int
+	// Node names the plane for federated span identity (see SetNode).
+	Node string
+	// SchedFunnel forces scheduler spans through the sequential
+	// control-plane funnel even on sharded kernels (the pre-v2
+	// behaviour); the differential tests pin funnel == per-shard.
+	SchedFunnel bool
+	// FlightPre / FlightPost size the flight-recorder window around a
+	// trigger (defaults 48 / 16); FlightMax caps retained dumps
+	// (default 8). FlightOff disables the recorder.
+	FlightPre  int
+	FlightPost int
+	FlightMax  int
+	FlightOff  bool
 }
 
 // depthSampleCap bounds the worklist-depth series so pathological churn
@@ -240,9 +253,35 @@ type Plane struct {
 	loadFn func() []float64
 
 	c       counters
+	perKind [kindCount]uint64
 	perComp map[string]*compCounters
 	depth   metrics.Series
+
+	// Federated identity and cross-node stitching (stitch.go).
+	node   string
+	rcause Ref
+	remote map[SpanID]Ref
+
+	// Latency histograms (latency.go); inline values, zero-alloc record.
+	lat [latKinds]metrics.Log2Hist
+
+	// Per-shard sched emission (sharded.go).
+	schedFunnel bool
+	emitters    []*shardEmitter
+	shardSinks  []rtos.TraceSink
+	schedMerge  []stagedSched
+	sorter      schedSorter
+
+	// Flight recorder (flightrec.go).
+	frPre     int
+	frPost    int
+	frMax     int
+	frDumps   []*FlightDump
+	frPending []pendingDump
 }
+
+// kindCount sizes the per-kind counter array (kinds are 1-based).
+const kindCount = int(KindNodeLoss) + 1
 
 // counters are the subsystem-level metric accumulators.
 type counters struct {
@@ -292,16 +331,35 @@ func NewPlane(o Options) *Plane {
 	if o.Capacity <= 0 {
 		o.Capacity = 8192
 	}
+	if o.FlightPre <= 0 {
+		o.FlightPre = defaultFlightPre
+	}
+	if o.FlightPost < 0 {
+		o.FlightPost = 0
+	} else if o.FlightPost == 0 {
+		o.FlightPost = defaultFlightPost
+	}
+	if o.FlightMax <= 0 {
+		o.FlightMax = defaultFlightMax
+	}
+	if o.FlightOff {
+		o.FlightMax = 0
+	}
 	return &Plane{
-		level:   o.Level,
-		ring:    make([]Span, o.Capacity),
-		open:    map[string]SpanID{},
-		last:    map[string]SpanID{},
-		full:    sha256.New(),
-		stream:  sha256.New(),
-		scratch: make([]byte, 0, 256),
-		iscr:    make([]byte, 0, 64),
-		perComp: map[string]*compCounters{},
+		level:       o.Level,
+		ring:        make([]Span, o.Capacity),
+		open:        map[string]SpanID{},
+		last:        map[string]SpanID{},
+		full:        sha256.New(),
+		stream:      sha256.New(),
+		scratch:     make([]byte, 0, 256),
+		iscr:        make([]byte, 0, 64),
+		perComp:     map[string]*compCounters{},
+		node:        o.Node,
+		schedFunnel: o.SchedFunnel,
+		frPre:       o.FlightPre,
+		frPost:      o.FlightPost,
+		frMax:       o.FlightMax,
 	}
 }
 
@@ -348,11 +406,21 @@ func (p *Plane) syncKernelSink() {
 	if p.kernel == nil {
 		return
 	}
-	if p.level == Full {
-		p.kernel.SetTraceSink(p.schedSpan)
-	} else {
+	if p.level != Full {
 		p.kernel.SetTraceSink(nil)
+		p.kernel.SetShardTraceSinks(nil, nil)
+		return
 	}
+	if n := p.kernel.Shards(); n > 1 && !p.schedFunnel {
+		// Per-shard emission: each shard stages into its own buffer, the
+		// barrier merges in canonical order (sharded.go).
+		p.ensureEmitters(n)
+		p.kernel.SetTraceSink(nil)
+		p.kernel.SetShardTraceSinks(p.shardSinks, p.mergeShards)
+		return
+	}
+	p.kernel.SetShardTraceSinks(nil, nil)
+	p.kernel.SetTraceSink(p.schedSpan)
 }
 
 // schedSpan is the scheduler trace bridge (Full level only). It must be
@@ -379,8 +447,17 @@ func (p *Plane) emit(s Span) SpanID {
 	if s.Component != "" {
 		p.last[s.Component] = s.ID
 	}
+	if int(s.Kind) < kindCount {
+		p.perKind[s.Kind]++
+	}
+	if s.Cause == 0 && !p.rcause.IsZero() {
+		p.linkRemote(s.ID, p.rcause)
+	}
 	if s.Kind != KindSched && s.Kind != KindResolveRound {
 		p.digest(s)
+	}
+	if p.frMax > 0 {
+		p.noteFlight(s)
 	}
 	return s.ID
 }
@@ -911,3 +988,19 @@ func (o Observer) Digest() string { return o.p.Digest() }
 
 // StreamDigest is the engine-comparable span-stream digest.
 func (o Observer) StreamDigest() string { return o.p.StreamDigest() }
+
+// Node reports the plane's federated identity name ("" single-node).
+func (o Observer) Node() string { return o.p.Node() }
+
+// LatencyStats summarises the non-empty latency histograms in the
+// committed canonical kind order.
+func (o Observer) LatencyStats() []LatencyStat { return o.p.LatencyStats() }
+
+// SummaryJSON renders the stable latency-summary export.
+func (o Observer) SummaryJSON() ([]byte, error) { return o.p.SummaryJSON() }
+
+// FlightDumps returns the retained flight-recorder dumps, oldest first.
+func (o Observer) FlightDumps() []FlightDump { return o.p.FlightDumps() }
+
+// FlightDump looks a flight-recorder dump up by name.
+func (o Observer) FlightDump(name string) (FlightDump, bool) { return o.p.FlightDump(name) }

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rtos"
+)
+
+// runShardedTickers drives a kernel with one periodic task per CPU and
+// returns the bound plane.
+func runShardedTickers(t *testing.T, shards int, funnel bool, runFor time.Duration) *Plane {
+	t.Helper()
+	k := rtos.NewKernel(rtos.Config{Seed: 1, NumCPUs: 4, Shards: shards})
+	p := NewPlane(Options{Level: Full, SchedFunnel: funnel})
+	p.BindKernel(k)
+	for cpu := 0; cpu < 4; cpu++ {
+		task, err := k.CreateTask(rtos.TaskSpec{
+			Name: "tk" + string(rune('a'+cpu)), Type: rtos.Periodic,
+			Period:   time.Duration(1+cpu) * time.Millisecond,
+			ExecTime: 30 * time.Microsecond, CPU: cpu,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := task.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(runFor); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Per-shard emission is the funnel bridge, parallelised: on the same
+// kernel config both paths must produce byte-identical digests — the
+// full one (span IDs included; per-shard staging must not perturb ID
+// assignment) and the stream one — at shard counts 1, 2 and 4.
+func TestShardedEmissionDigestsMatchFunnel(t *testing.T) {
+	ref := runShardedTickers(t, 0, false, 100*time.Millisecond)
+	refDigest, refStream := ref.Digest(), ref.StreamDigest()
+	if ref.Snapshot().Sched.Events == 0 {
+		t.Fatal("reference run emitted no sched spans")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, funnel := range []bool{true, false} {
+			p := runShardedTickers(t, shards, funnel, 100*time.Millisecond)
+			if d := p.Digest(); d != refDigest {
+				t.Errorf("shards=%d funnel=%v: digest %s != sequential %s", shards, funnel, d, refDigest)
+			}
+			if s := p.StreamDigest(); s != refStream {
+				t.Errorf("shards=%d funnel=%v: stream digest %s != sequential %s", shards, funnel, s, refStream)
+			}
+		}
+	}
+}
+
+// The per-shard staging buffers must be allocation-free in steady
+// state, like the funnel bridge they replace.
+func TestShardedEmissionAllocFree(t *testing.T) {
+	k := rtos.NewKernel(rtos.Config{Seed: 1, NumCPUs: 4, Shards: 4})
+	p := NewPlane(Options{Level: Full})
+	p.BindKernel(k)
+	for cpu := 0; cpu < 4; cpu++ {
+		task, err := k.CreateTask(rtos.TaskSpec{
+			Name: "tk" + string(rune('a'+cpu)), Type: rtos.Periodic,
+			Period: time.Millisecond, ExecTime: 30 * time.Microsecond, CPU: cpu,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := task.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: grow the staging buffers and the merge scratch to their
+	// steady-state capacity.
+	if err := k.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Snapshot().Sched.Events
+	if n := testing.AllocsPerRun(50, func() {
+		if err := k.Run(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0.001 {
+		t.Errorf("sharded emission allocates %.3f per ms of sim time", n)
+	}
+	if after := p.Snapshot().Sched.Events; after <= before {
+		t.Fatal("sharded emitters recorded no sched spans during the measured runs")
+	}
+}

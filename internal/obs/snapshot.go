@@ -9,14 +9,21 @@ import (
 )
 
 // Snapshot is the stable-ordered metrics export of the plane: every
-// slice is sorted by name, so two snapshots of the same state encode to
-// identical JSON. It merges the plane's own counters with the bound
-// kernel's task, CPU, and mailbox statistics.
+// slice order is committed — struct fields encode in declaration
+// order, per-name slices (CPUs, Components, Mailboxes) sort by name,
+// and per-kind counters (SpanKinds) and latency histograms (Latency)
+// list in their canonical enum order, never map-iteration order — so
+// two snapshots of the same state encode to byte-identical JSON. That
+// stability is part of the API: exporters and the committed bench
+// reports diff snapshots textually. It merges the plane's own counters
+// with the bound kernel's task, CPU, and mailbox statistics.
 type Snapshot struct {
 	// AtNS is the simulated-clock timestamp in nanoseconds.
 	AtNS int64 `json:"at_ns"`
 	// Level is the sampling level at snapshot time.
 	Level string `json:"level"`
+	// Node is the plane's federated identity ("" single-node).
+	Node string `json:"node,omitempty"`
 	// SpansEmitted is the lifetime span count; SpansRetained is how many
 	// are still in the ring.
 	SpansEmitted  uint64 `json:"spans_emitted"`
@@ -25,18 +32,35 @@ type Snapshot struct {
 	Digest       string `json:"digest"`
 	StreamDigest string `json:"stream_digest"`
 
-	Resolve    ResolveStats    `json:"resolve"`
-	Plan       PlanStats       `json:"plan"`
-	Lifecycle  LifecycleStats  `json:"lifecycle"`
-	Contract   ContractStats   `json:"contract"`
-	Degrade    DegradeStats    `json:"degrade"`
-	Supervise  SuperviseStats  `json:"supervise"`
-	Cluster    ClusterStats    `json:"cluster"`
-	Fault      FaultStats      `json:"fault"`
-	Sched      SchedStats      `json:"sched"`
-	CPUs       []CPUStat       `json:"cpus,omitempty"`
-	Components []ComponentStat `json:"components,omitempty"`
-	Mailboxes  []MailboxStat   `json:"mailboxes,omitempty"`
+	Resolve   ResolveStats   `json:"resolve"`
+	Plan      PlanStats      `json:"plan"`
+	Lifecycle LifecycleStats `json:"lifecycle"`
+	Contract  ContractStats  `json:"contract"`
+	Degrade   DegradeStats   `json:"degrade"`
+	Supervise SuperviseStats `json:"supervise"`
+	Cluster   ClusterStats   `json:"cluster"`
+	Fault     FaultStats     `json:"fault"`
+	Sched     SchedStats     `json:"sched"`
+	// SpanKinds lists the non-zero per-kind span counters in the
+	// committed canonical kind order (the Kind enum declaration order,
+	// KindDeploy first) — never map-iteration order.
+	SpanKinds []KindCount `json:"span_kinds,omitempty"`
+	// Latency lists the non-empty latency histograms (p50/p95/p99 as
+	// deterministic bucket upper bounds) in the committed canonical
+	// LatencyKind order. Wall-clock values are machine-dependent; they
+	// never enter any digest.
+	Latency []LatencyStat `json:"latency,omitempty"`
+	// FlightDumps is the number of retained flight-recorder dumps.
+	FlightDumps int             `json:"flight_dumps,omitempty"`
+	CPUs        []CPUStat       `json:"cpus,omitempty"`
+	Components  []ComponentStat `json:"components,omitempty"`
+	Mailboxes   []MailboxStat   `json:"mailboxes,omitempty"`
+}
+
+// KindCount is one span kind's lifetime emission count.
+type KindCount struct {
+	Kind  string `json:"kind"`
+	Count uint64 `json:"count"`
 }
 
 // ResolveStats describe the incremental resolve engine.
@@ -215,6 +239,14 @@ func (p *Plane) Snapshot() Snapshot {
 		},
 		Sched: SchedStats{Events: p.c.schedEvents},
 	}
+	s.Node = p.node
+	for k := 1; k < kindCount; k++ {
+		if p.perKind[k] > 0 {
+			s.SpanKinds = append(s.SpanKinds, KindCount{Kind: Kind(k).String(), Count: p.perKind[k]})
+		}
+	}
+	s.Latency = p.LatencyStats()
+	s.FlightDumps = len(p.frDumps)
 
 	var load []float64
 	if p.loadFn != nil {
@@ -323,6 +355,14 @@ func (s Snapshot) Format() string {
 		s.Fault.Injections, s.Fault.Clears, s.Fault.Reapplies)
 	if s.Sched.Events > 0 {
 		fmt.Fprintf(&b, "  sched:     %d bridged events\n", s.Sched.Events)
+	}
+	for _, l := range s.Latency {
+		fmt.Fprintf(&b, "  lat %-18s n=%-6d p50 %v p95 %v p99 %v max %v\n",
+			l.Name, l.Count, time.Duration(l.P50NS), time.Duration(l.P95NS),
+			time.Duration(l.P99NS), time.Duration(l.MaxNS))
+	}
+	if s.FlightDumps > 0 {
+		fmt.Fprintf(&b, "  flightrec: %d dumps\n", s.FlightDumps)
 	}
 	for _, c := range s.CPUs {
 		fmt.Fprintf(&b, "  cpu%d:      %3.0f%% declared, busy %v\n",

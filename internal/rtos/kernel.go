@@ -118,6 +118,12 @@ type Kernel struct {
 	tracer  *Tracer
 	sink    TraceSink
 
+	// Per-shard live sinks (see SetShardTraceSinks): shardSinks[i] runs
+	// on shard i's goroutine during a window; shardMerge runs at every
+	// barrier, after the window joined, on the control goroutine.
+	shardSinks []TraceSink
+	shardMerge func()
+
 	// Sharded-engine state (see shard.go). With one shard the window
 	// loop is bypassed entirely and Run drives k.clock directly.
 	shards     []*kshard

@@ -200,6 +200,9 @@ func (k *Kernel) launchWindow(b sim.Time, inclusive bool) error {
 // exactly one shard, so a stable sort yields the engine-independent
 // canonical order (see CanonicalizeTrace).
 func (k *Kernel) mergeWindow() {
+	if k.shardMerge != nil {
+		k.shardMerge()
+	}
 	if k.sink == nil && k.tracer == nil {
 		return // shards recorded nothing
 	}

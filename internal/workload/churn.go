@@ -49,6 +49,10 @@ type ChurnSpec struct {
 	// ObsLevel is the observability sampling level for the run (zero
 	// value: Sampled, the default level).
 	ObsLevel obs.Level
+	// SchedFunnel forces the funnel scheduler bridge even on sharded
+	// kernels — the reference path the per-shard emitters are
+	// differential-tested against. Irrelevant below obs.Full.
+	SchedFunnel bool
 }
 
 func (s *ChurnSpec) applyDefaults() {
@@ -89,6 +93,10 @@ type ChurnStats struct {
 	// stream digest (IDs, cause edges and resolve-round internals
 	// excluded): the two resolve engines must produce equal values.
 	ObsDigest string
+	// ObsFullDigest includes span IDs and cause edges; it separates the
+	// two resolve engines but must not depend on shard count or on the
+	// funnel-vs-per-shard emission path.
+	ObsFullDigest string
 	// Spans is the lifetime span count the storm emitted.
 	Spans uint64
 	// SetupWall / StormWall split untimed population from the timed storm.
@@ -188,7 +196,7 @@ func RunChurn(spec ChurnSpec) (ChurnStats, error) {
 	d, err := core.New(fw, k, core.Options{
 		Shards:           spec.Shards,
 		FullSweepResolve: spec.FullSweep,
-		Obs:              obs.NewPlane(obs.Options{Level: spec.ObsLevel}),
+		Obs:              obs.NewPlane(obs.Options{Level: spec.ObsLevel, SchedFunnel: spec.SchedFunnel}),
 	})
 	if err != nil {
 		return ChurnStats{}, err
@@ -269,9 +277,10 @@ func RunChurn(spec ChurnSpec) (ChurnStats, error) {
 		StateDigest: hex.EncodeToString(sh.Sum(nil)),
 		// Captured before the deferred Close so teardown spans don't
 		// depend on defer ordering.
-		ObsDigest: d.Obs().StreamDigest(),
-		Spans:     d.Obs().Emitted(),
-		SetupWall: setup,
-		StormWall: storm,
+		ObsDigest:     d.Obs().StreamDigest(),
+		ObsFullDigest: d.Obs().Digest(),
+		Spans:         d.Obs().Emitted(),
+		SetupWall:     setup,
+		StormWall:     storm,
 	}, nil
 }

@@ -82,6 +82,14 @@ func (s *ClusterSpec) applyDefaults() {
 type ClusterResult struct {
 	// Digest pins the whole run (see Cluster.Digest).
 	Digest string
+	// StitchDigest pins the cross-node causal chains the stitch tables
+	// reconstruct (see Cluster.StitchDigest); like Digest it must not
+	// depend on per-node shard count or Parallel.
+	StitchDigest string
+	// Latency is the cluster-merged latency histogram summary
+	// (resolve/deploy on node planes, migrate-e2e/revoke-propagation on
+	// the control plane). Wall-clock: reported, never digested.
+	Latency []obs.LatencyStat
 	// Converged reports post-heal global-view convergence.
 	Converged bool
 	// Migrations/Placements/NodeLosses count cluster-plane decisions.
@@ -202,8 +210,10 @@ func RunClusterCampaign(spec ClusterSpec) (ClusterResult, error) {
 	}
 
 	res := ClusterResult{
-		Digest:    c.Digest(),
-		Converged: c.Converged(),
+		Digest:       c.Digest(),
+		StitchDigest: c.StitchDigest(),
+		Latency:      c.LatencyStats(),
+		Converged:    c.Converged(),
 	}
 	snap := c.Plane().Snapshot()
 	res.Migrations = snap.Cluster.Migrations

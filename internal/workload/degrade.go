@@ -109,6 +109,11 @@ type DegradeConfig struct {
 	// Replicas deploys background calc/disp pairs on CPUs 1..NumCPUs-1;
 	// ignored when NumCPUs == 1.
 	Replicas int
+	// ObsLevel is the observability sampling level (zero value: Sampled).
+	ObsLevel obs.Level
+	// SchedFunnel forces the funnel scheduler bridge on sharded kernels
+	// (the per-shard emitters' differential reference).
+	SchedFunnel bool
 }
 
 func (c *DegradeConfig) applyDefaults() {
@@ -157,9 +162,11 @@ type DegradeResult struct {
 	Escalations uint64
 
 	SpanDigest string
-	SpanCount  uint64
-	Spans      []obs.Span
-	Obs        obs.Snapshot
+	// StreamDigest is the ID-free engine/shard-comparable variant.
+	StreamDigest string
+	SpanCount    uint64
+	Spans        []obs.Span
+	Obs          obs.Snapshot
 
 	Events         []core.Event
 	Final          []core.Info
@@ -174,7 +181,10 @@ func RunDegradeCampaign(cfg DegradeConfig) (DegradeResult, error) {
 
 	fw := osgi.NewFramework()
 	k := rtos.NewKernel(rtos.Config{Seed: cfg.Seed, NumCPUs: cfg.NumCPUs, Shards: cfg.Shards})
-	d, err := core.New(fw, k, core.Options{Shards: cfg.Shards})
+	d, err := core.New(fw, k, core.Options{
+		Shards: cfg.Shards,
+		Obs:    obs.NewPlane(obs.Options{Level: cfg.ObsLevel, SchedFunnel: cfg.SchedFunnel}),
+	})
 	if err != nil {
 		return DegradeResult{}, err
 	}
@@ -282,6 +292,7 @@ func RunDegradeCampaign(cfg DegradeConfig) (DegradeResult, error) {
 		GuardTrace:     guard.Trace(),
 		SuperviseTrace: sup.Trace(),
 		SpanDigest:     d.Obs().Digest(),
+		StreamDigest:   d.Obs().StreamDigest(),
 		SpanCount:      d.Obs().Emitted(),
 		Spans:          d.Obs().Spans(),
 		Obs:            d.Obs().Snapshot(),

@@ -72,6 +72,11 @@ type FaultCampaignConfig struct {
 	// CPUs 1..NumCPUs-1, giving multi-CPU campaigns real per-shard
 	// scheduling work. Ignored when NumCPUs == 1.
 	Replicas int
+	// ObsLevel is the observability sampling level (zero value: Sampled).
+	ObsLevel obs.Level
+	// SchedFunnel forces the funnel scheduler bridge on sharded kernels
+	// (the per-shard emitters' differential reference).
+	SchedFunnel bool
 }
 
 func (c *FaultCampaignConfig) applyDefaults() {
@@ -108,8 +113,10 @@ type FaultCampaignResult struct {
 	// teardown; same seed + same campaign ⇒ byte-identical. SpanCount is
 	// the number of spans behind it, and Obs the metric snapshot.
 	SpanDigest string
-	SpanCount  uint64
-	Obs        obs.Snapshot
+	// StreamDigest is the ID-free engine/shard-comparable variant.
+	StreamDigest string
+	SpanCount    uint64
+	Obs          obs.Snapshot
 
 	// Containment: disp's dispatch latencies across the whole run,
 	// collected in the functional routine so they survive task
@@ -143,7 +150,10 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (FaultCampaignResult, error) {
 
 	fw := osgi.NewFramework()
 	k := rtos.NewKernel(rtos.Config{Seed: cfg.Seed, NumCPUs: cfg.NumCPUs, Shards: cfg.Shards})
-	d, err := core.New(fw, k, core.Options{Shards: cfg.Shards})
+	d, err := core.New(fw, k, core.Options{
+		Shards: cfg.Shards,
+		Obs:    obs.NewPlane(obs.Options{Level: cfg.ObsLevel, SchedFunnel: cfg.SchedFunnel}),
+	})
 	if err != nil {
 		return FaultCampaignResult{}, err
 	}
@@ -218,9 +228,10 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (FaultCampaignResult, error) {
 		DispSamples: dispLat,
 		// Captured before the deferred Close/inj.Close so teardown spans
 		// don't enter the pinned digest.
-		SpanDigest: d.Obs().Digest(),
-		SpanCount:  d.Obs().Emitted(),
-		Obs:        d.Obs().Snapshot(),
+		SpanDigest:   d.Obs().Digest(),
+		StreamDigest: d.Obs().StreamDigest(),
+		SpanCount:    d.Obs().Emitted(),
+		Obs:          d.Obs().Snapshot(),
 	}
 	for _, v := range dispLat {
 		if v < 0 {

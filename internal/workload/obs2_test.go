@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ISSUE-9 acceptance gates: at obs.Full the per-shard span emitters
+// must reproduce the funnel bridge byte for byte — the full digest
+// (span IDs and cause edges included) AND the stream digest — at shard
+// counts 1/2/4/8, across the churn, fault and degradation campaigns;
+// and the 8-node cluster campaign's stitched cross-node trace digest
+// must be pinned across runs, shard counts and Parallel.
+
+func TestChurnShardedEmissionMatchesFunnel(t *testing.T) {
+	base := ChurnSpec{Components: 60, Steps: 120, Seed: 11, NumCPUs: 8, ObsLevel: obs.Full}
+	for _, shards := range []int{1, 2, 4, 8} {
+		funnel := base
+		funnel.Shards = shards
+		funnel.SchedFunnel = true
+		ref, err := RunChurn(funnel)
+		if err != nil {
+			t.Fatalf("shards=%d funnel: %v", shards, err)
+		}
+		sharded := base
+		sharded.Shards = shards
+		got, err := RunChurn(sharded)
+		if err != nil {
+			t.Fatalf("shards=%d per-shard: %v", shards, err)
+		}
+		if got.ObsFullDigest != ref.ObsFullDigest {
+			t.Errorf("shards=%d: per-shard full digest %s != funnel %s",
+				shards, got.ObsFullDigest, ref.ObsFullDigest)
+		}
+		if got.ObsDigest != ref.ObsDigest {
+			t.Errorf("shards=%d: per-shard stream digest %s != funnel %s",
+				shards, got.ObsDigest, ref.ObsDigest)
+		}
+		if got.Spans != ref.Spans {
+			t.Errorf("shards=%d: per-shard emitted %d spans, funnel %d", shards, got.Spans, ref.Spans)
+		}
+	}
+}
+
+func TestFaultCampaignShardedEmissionMatchesFunnel(t *testing.T) {
+	base := FaultCampaignConfig{Seed: 3, RunFor: 400 * time.Millisecond, Guarded: true,
+		NumCPUs: 8, Replicas: 7, ObsLevel: obs.Full}
+	for _, shards := range []int{1, 2, 4, 8} {
+		funnel := base
+		funnel.Shards = shards
+		funnel.SchedFunnel = true
+		ref, err := RunFaultCampaign(funnel)
+		if err != nil {
+			t.Fatalf("shards=%d funnel: %v", shards, err)
+		}
+		if ref.Obs.Sched.Events == 0 {
+			t.Fatalf("shards=%d: Full level recorded no sched spans — bridge not attached", shards)
+		}
+		sharded := base
+		sharded.Shards = shards
+		got, err := RunFaultCampaign(sharded)
+		if err != nil {
+			t.Fatalf("shards=%d per-shard: %v", shards, err)
+		}
+		if got.SpanDigest != ref.SpanDigest {
+			t.Errorf("shards=%d: per-shard span digest %s != funnel %s", shards, got.SpanDigest, ref.SpanDigest)
+		}
+		if got.StreamDigest != ref.StreamDigest {
+			t.Errorf("shards=%d: per-shard stream digest %s != funnel %s", shards, got.StreamDigest, ref.StreamDigest)
+		}
+		if got.SpanCount != ref.SpanCount {
+			t.Errorf("shards=%d: per-shard emitted %d spans, funnel %d", shards, got.SpanCount, ref.SpanCount)
+		}
+	}
+}
+
+func TestDegradeShardedEmissionMatchesFunnel(t *testing.T) {
+	base := DegradeConfig{Seed: 9, RunFor: 600 * time.Millisecond, NumCPUs: 8, Replicas: 7,
+		ObsLevel: obs.Full}
+	for _, shards := range []int{1, 2, 4, 8} {
+		funnel := base
+		funnel.Shards = shards
+		funnel.SchedFunnel = true
+		ref, err := RunDegradeCampaign(funnel)
+		if err != nil {
+			t.Fatalf("shards=%d funnel: %v", shards, err)
+		}
+		sharded := base
+		sharded.Shards = shards
+		got, err := RunDegradeCampaign(sharded)
+		if err != nil {
+			t.Fatalf("shards=%d per-shard: %v", shards, err)
+		}
+		if got.SpanDigest != ref.SpanDigest {
+			t.Errorf("shards=%d: per-shard span digest %s != funnel %s", shards, got.SpanDigest, ref.SpanDigest)
+		}
+		if got.StreamDigest != ref.StreamDigest {
+			t.Errorf("shards=%d: per-shard stream digest %s != funnel %s", shards, got.StreamDigest, ref.StreamDigest)
+		}
+	}
+}
+
+// The 8-node churn-under-partition campaign's stitched cross-node
+// trace digest is pinned: byte-identical across runs, per-node shard
+// counts and Parallel, and the merged latency summary carries real
+// distributions (resolve and deploy at minimum) without ever entering
+// a digest.
+func TestClusterStitchedDigestPinned(t *testing.T) {
+	spec := ClusterSpec{Nodes: 8, Seed: 42, NumCPUs: 4, RunFor: 120 * time.Millisecond}
+	ref, err := RunClusterCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.StitchDigest == "" {
+		t.Fatal("campaign produced no stitched digest")
+	}
+	if len(ref.Latency) == 0 {
+		t.Fatal("campaign recorded no latency distributions")
+	}
+	seen := map[string]obs.LatencyStat{}
+	for _, st := range ref.Latency {
+		seen[st.Name] = st
+		if st.Count > 0 && st.P99NS < st.P50NS {
+			t.Errorf("latency %s: p99 %d < p50 %d", st.Name, st.P99NS, st.P50NS)
+		}
+	}
+	for _, want := range []string{"resolve", "deploy"} {
+		if st, ok := seen[want]; !ok || st.Count == 0 {
+			t.Errorf("merged latency summary missing %q samples: %+v", want, ref.Latency)
+		}
+	}
+	again, err := RunClusterCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StitchDigest != ref.StitchDigest {
+		t.Fatalf("same spec, different stitched digests:\n%s\n%s", ref.StitchDigest, again.StitchDigest)
+	}
+	for _, shards := range []int{2, 4} {
+		s := spec
+		s.Shards = shards
+		got, err := RunClusterCampaign(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.StitchDigest != ref.StitchDigest {
+			t.Fatalf("Shards=%d changed the stitched digest:\n%s\n%s", shards, ref.StitchDigest, got.StitchDigest)
+		}
+	}
+	par := spec
+	par.Parallel = true
+	got, err := RunClusterCampaign(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StitchDigest != ref.StitchDigest {
+		t.Fatalf("Parallel changed the stitched digest:\n%s\n%s", ref.StitchDigest, got.StitchDigest)
+	}
+}
