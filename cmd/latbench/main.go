@@ -12,6 +12,7 @@
 //	         [-obs] [-obsjson FILE] [-obssim N]
 //	         [-obs2] [-obs2json FILE] [-obs2sim N]
 //	         [-degrade] [-degradejson FILE]
+//	         [-predict] [-predictjson FILE]
 //	         [-shards] [-shardjson FILE] [-shardsim N]
 //	         [-cluster] [-clusterjson FILE] [-clustersim N]
 //	         [-plan] [-planjson FILE] [-plansizes N,N,...]
@@ -60,6 +61,8 @@ func main() {
 		obs2sim    = flag.Int("obs2sim", 0, "simulated milliseconds per obs2 campaign run (0 = default 600)")
 		degrade    = flag.Bool("degrade", false, "run the graceful-degradation campaign (mode ladder vs binary baseline)")
 		degradeOut = flag.String("degradejson", "", "write the degradation JSON report to this file (implies -degrade)")
+		predictRun = flag.Bool("predict", false, "run the predictive-admission ablation (reactive vs forecasting guard)")
+		predictOut = flag.String("predictjson", "", "write the predictive-admission JSON report to this file (implies -predict)")
 		shardsRun  = flag.Bool("shards", false, "run the shard-scaling sweep (events/sec per shard count)")
 		shardjson  = flag.String("shardjson", "", "write the shard-scaling JSON report to this file (implies -shards)")
 		shardsim   = flag.Int("shardsim", 0, "simulated seconds per shard-sweep rung (0 = default 10)")
@@ -90,6 +93,9 @@ func main() {
 	if *degradeOut != "" {
 		*degrade = true
 	}
+	if *predictOut != "" {
+		*predictRun = true
+	}
 	if *shardjson != "" {
 		*shardsRun = true
 	}
@@ -100,10 +106,10 @@ func main() {
 		*planRun = true
 	}
 	if *all {
-		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *obs2Run, *degrade, *shardsRun, *clusterRun, *planRun = true, true, true, true, true, true, true, true, true, true, true, true
+		*table1, *hist, *ablations, *gantt, *faults, *churn, *obsRun, *obs2Run, *degrade, *predictRun, *shardsRun, *clusterRun, *planRun = true, true, true, true, true, true, true, true, true, true, true, true, true
 		perf = true // hot-path measurements print even without a JSON path
 	}
-	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*obs2Run && !*degrade && !*shardsRun && !*clusterRun && !*planRun && *dump == "" && !perf {
+	if !*table1 && !*hist && !*ablations && !*gantt && !*faults && !*churn && !*obsRun && !*obs2Run && !*degrade && !*predictRun && !*shardsRun && !*clusterRun && !*planRun && *dump == "" && !perf {
 		*table1 = true // default action
 	}
 
@@ -124,6 +130,9 @@ func main() {
 	}
 	if *degrade {
 		runDegradeJSON(*degradeOut, *seed)
+	}
+	if *predictRun {
+		runPredictJSON(*predictOut, *seed)
 	}
 	if *shardsRun {
 		runShardJSON(*shardjson, *shardsim)
@@ -409,6 +418,43 @@ func runDegradeJSON(path string, seed uint64) {
 		log.Fatal(err)
 	}
 	var round bench.DegradeReport
+	if err := json.Unmarshal(written, &round); err != nil {
+		log.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if err := round.Validate(); err != nil {
+		log.Fatalf("%s failed validation after round trip: %v", path, err)
+	}
+	fmt.Printf("wrote %s (validated)\n", path)
+}
+
+// runPredictJSON runs the execution-drift campaign under the reactive
+// and the forecasting guard. With a path it writes the machine-readable
+// BENCH_predict.json, then reads it back and validates it — the CI smoke
+// depends on the written file being well-formed.
+func runPredictJSON(path string, seed uint64) {
+	rep, err := bench.MeasurePredict(bench.PredictBenchConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatPredict(rep))
+	if err := rep.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if path == "" {
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var round bench.PredictReport
 	if err := json.Unmarshal(written, &round); err != nil {
 		log.Fatalf("%s is not valid JSON: %v", path, err)
 	}

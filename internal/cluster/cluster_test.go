@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"flag"
+	"strings"
 	"testing"
 	"time"
 
@@ -310,6 +311,12 @@ func TestRevokeBudgetOverNetwork(t *testing.T) {
 	info, _ := c.Node(1).DRCR().Component("prod")
 	if !info.Revoked || info.State == core.Active {
 		t.Fatalf("revoke never landed: %+v", info)
+	}
+	// The leader's reason (a guard detail, a probabilistic verdict, …)
+	// must survive the network hop verbatim, not arrive as a generic
+	// "cluster revocation".
+	if !strings.Contains(info.LastReason, "deadline misses") {
+		t.Fatalf("revocation reason lost on the wire: %q", info.LastReason)
 	}
 	if err := c.RestoreBudget("prod"); err != nil {
 		t.Fatal(err)

@@ -341,11 +341,19 @@ func (c *Cluster) deliverControl(b sim.Time, n *Node, m net.Message) {
 	recv := c.plane.Recv(b, m.Topic, nodeName(m.Src), n.Name(), m.Note, obs.SpanID(m.Cause))
 	n.plane.SetRemoteCause(obs.Ref{Node: "cluster", ID: recv})
 	defer n.plane.ClearRemoteCause()
-	switch m.Note {
+	verb, detail := m.Note, ""
+	if i := strings.Index(m.Note, ": "); i >= 0 {
+		verb, detail = m.Note[:i], m.Note[i+2:]
+	}
+	switch verb {
 	case "revoke":
 		// Propagation latency: leader send instant → applied here.
 		c.plane.RecordLatency(obs.LatRevoke, int64(b.Sub(m.SentAt)))
-		_ = n.drcr.RevokeBudget(m.Topic, "cluster revocation")
+		reason := "cluster revocation"
+		if detail != "" {
+			reason = "cluster revocation: " + detail
+		}
+		_ = n.drcr.RevokeBudget(m.Topic, reason)
 	case "restore":
 		_ = n.drcr.RestoreBudget(m.Topic)
 	case "migrate-add":

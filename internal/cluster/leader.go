@@ -436,9 +436,12 @@ func (c *Cluster) RevokeBudget(name, reason string) error {
 		return leader.drcr.RevokeBudget(name, reason)
 	}
 	span := c.plane.Send(c.now, name, leader.Name(), nodeName(pl.node), "revoke: "+reason, 0)
+	// The reason rides the wire: a probabilistic admission verdict (or
+	// any other revocation cause) lands verbatim in the destination
+	// node's revoke span instead of a generic "cluster revocation".
 	c.net.Send(c.now, net.Message{
 		Src: leader.id, Dst: pl.node, Kind: net.Control,
-		Topic: name, Note: "revoke", Cause: uint64(span),
+		Topic: name, Note: "revoke: " + reason, Cause: uint64(span),
 	})
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/contract"
 	"repro/internal/descriptor"
 	"repro/internal/rtos"
 )
@@ -190,5 +191,61 @@ func TestListBindingsSorted(t *testing.T) {
 	}
 	if formatBindings(nil) != "-" {
 		t.Fatalf("empty bindings should render as -")
+	}
+}
+
+const clusterStochXML = `<component name="stoch" type="periodic" cpuusage="0.3">
+  <implementation bincode="demo.ClCons"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="normal(0.3,0.02)" p="0.97"/>
+  <mode name="eco" frequence="250" cpuusage="0.15"/>
+  <property name="drcom.exectime.us" type="Integer" value="300"/>
+</component>`
+
+// TestClusterSessionForecastAndAdmit pins the node-qualified variants:
+// admit compiles against an explicit node's view, and forecast reads
+// per-node guards with node and node/name filters.
+func TestClusterSessionForecastAndAdmit(t *testing.T) {
+	c, out := newClusterConsole(t, 3)
+	prev := c.ReadFile
+	c.ReadFile = func(path string) ([]byte, error) {
+		if path == "stoch.xml" {
+			return []byte(clusterStochXML), nil
+		}
+		return prev(path)
+	}
+	g, err := contract.New(c.cl.Node(1).DRCR(), contract.Options{Predict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.AttachGuard("n1", g)
+	if err := c.Run(strings.NewReader(`
+deploy stoch.xml n1
+run 300ms
+admit n1 prod.xml -dry
+admit prod.xml -dry
+forecast n1
+forecast n1/stoch
+forecast n0
+`)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"[n1] admit (dry run): 1 components, 1 schedulable, 0 stochastic verdicts",
+		"[n1]   prod     constant budget (deterministic admission)",
+		"error: usage: admit <node> <file.xml> [more.xml ...] -dry",
+		"[n1] stoch    P(miss)=",
+		"no forecasts yet", // n0 has no guard attached
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "[n1] stoch    P(miss)="); n != 2 {
+		t.Errorf("want 2 forecast rows (node filter + node/name filter), got %d:\n%s", n, got)
 	}
 }

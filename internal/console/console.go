@@ -18,8 +18,11 @@ import (
 	drcom "repro"
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/contract"
+	"repro/internal/descriptor"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/rtos"
 )
 
@@ -30,6 +33,9 @@ type Console struct {
 	cl     *cluster.Cluster
 	out    io.Writer
 	tracer *rtos.Tracer
+	// guards holds the contract guards the forecast command reads,
+	// keyed by plane ("" for the single system, "n2" per cluster node).
+	guards map[string]*contract.Guard
 	// ReadFile is stubbed in tests; defaults to os.ReadFile.
 	ReadFile func(string) ([]byte, error)
 }
@@ -50,6 +56,16 @@ func NewCluster(cl *cluster.Cluster, out io.Writer) *Console {
 // AttachCluster adds a cluster to an existing single-system console,
 // enabling the nodes/links/migrate commands alongside it.
 func (c *Console) AttachCluster(cl *cluster.Cluster) { c.cl = cl }
+
+// AttachGuard exposes a contract guard to the forecast command. The node
+// key is "" for a single-system console; cluster consoles attach one
+// guard per node under its plane name ("n0", "n1", …).
+func (c *Console) AttachGuard(node string, g *contract.Guard) {
+	if c.guards == nil {
+		c.guards = map[string]*contract.Guard{}
+	}
+	c.guards[node] = g
+}
 
 // Run interprets commands from in until EOF or the quit command. Blank
 // lines and #-comments are skipped. Errors are reported to the output
@@ -80,7 +96,7 @@ func (c *Console) Exec(line string) (quit bool) {
 	if c.sys == nil {
 		switch cmd {
 		case "help", "quit", "exit", "run", "deploy", "remove", "nodes", "links", "migrate",
-			"spans", "why", "watch", "metrics", "flightrec":
+			"spans", "why", "watch", "metrics", "flightrec", "forecast", "admit":
 		default:
 			fmt.Fprintf(c.out, "error: %q needs a single-node system; this console drives a cluster (try nodes, links, migrate)\n", cmd)
 			return false
@@ -107,6 +123,10 @@ func (c *Console) Exec(line string) (quit bool) {
 		err = c.downgrade(args)
 	case "promote":
 		err = c.promote(args)
+	case "forecast":
+		err = c.forecast(args)
+	case "admit":
+		err = c.admit(args)
 	case "list", "lb", "ss":
 		c.list()
 	case "events":
@@ -160,6 +180,9 @@ func (c *Console) printHelp() {
   modes                   declared service-mode ladders and admitted modes
   downgrade <name> [why]  step a component down one service mode
   promote <name>          allow a downgraded component to re-promote
+  forecast [name]         guard's predicted miss probabilities per component
+  admit <file.xml> [...] -dry
+                          dry-run admission: Monte-Carlo verdicts, no deploy
   list                    component table (alias: lb, ss)
   events                  unified decision timeline (with why column)
   spans [n]               last n observability spans (default 20)
@@ -180,7 +203,8 @@ func (c *Console) printHelp() {
   quit                    end the session
 cluster mode: spans/why/watch/metrics/flightrec read the federated
 planes; names may be node-qualified (why n2/decoder, spans n1 10,
-watch 40ms n0). Plain names stitch across nodes.
+watch 40ms n0). Plain names stitch across nodes. forecast takes a
+node or n2/name filter; admit needs a leading node (admit n1 f.xml -dry).
 `)
 }
 
@@ -418,6 +442,163 @@ func (c *Console) promote(args []string) error {
 	}
 	info, _ := c.sys.Component(args[0])
 	fmt.Fprintf(c.out, "%s: %v mode %d (%s)\n", args[0], info.State, info.Mode, info.ModeName)
+	return nil
+}
+
+// forecast prints each attached guard's latest per-component forecast:
+// the blended miss probability against the declared allowance, the
+// trend projection, and the hysteresis state. An argument filters by
+// component; in cluster mode it may be node-qualified ("n2/calc") or a
+// bare node ("n2").
+func (c *Console) forecast(args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("usage: forecast [node/]name")
+	}
+	if len(c.guards) == 0 {
+		return fmt.Errorf("no contract guard attached (AttachGuard)")
+	}
+	nodeFilter, compFilter := "", ""
+	if len(args) == 1 {
+		if c.cl != nil {
+			node, comp := splitNodeQualified(args[0])
+			if node != "" {
+				canon, err := c.normalizeNode(node)
+				if err != nil {
+					return err
+				}
+				nodeFilter, compFilter = canon, comp
+			} else if canon, err := c.normalizeNode(args[0]); err == nil {
+				nodeFilter = canon
+			} else {
+				compFilter = args[0]
+			}
+		} else {
+			compFilter = args[0]
+		}
+	}
+	nodes := make([]string, 0, len(c.guards))
+	for node := range c.guards {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	shown := 0
+	for _, node := range nodes {
+		if nodeFilter != "" && node != nodeFilter {
+			continue
+		}
+		tag := ""
+		if node != "" {
+			tag = "[" + node + "] "
+		}
+		for _, f := range c.guards[node].Forecasts() {
+			if compFilter != "" && f.Component != compFilter {
+				continue
+			}
+			state := "armed"
+			if !f.Armed {
+				state = "held"
+			}
+			fmt.Fprintf(c.out, "%s%-8s P(miss)=%.3f allowed=%.3f projected=%.4f limit=%.4f sigma=%.4f %s samples=%d at=%v\n",
+				tag, f.Component, f.PMiss, f.Allowed, f.Projected, f.Limit, f.Sigma, state,
+				f.Samples, time.Duration(f.At))
+			shown++
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintln(c.out, "no forecasts yet (estimator runs for active budget-declaring components)")
+	}
+	return nil
+}
+
+// admit dry-runs admission for a bundle of descriptor files: it compiles
+// the composition plan against the live admitted view and prints the
+// Monte-Carlo verdict of every stochastic budget plus the admission
+// deltas — without deploying anything. The -dry flag is required; the
+// deploy command is how a bundle is applied. In cluster mode a leading
+// node argument picks the node whose view the bundle is tried against.
+func (c *Console) admit(args []string) error {
+	dry := false
+	files := make([]string, 0, len(args))
+	node := ""
+	for _, a := range args {
+		switch {
+		case a == "-dry":
+			dry = true
+		case c.cl != nil && len(files) == 0 && !strings.Contains(a, "."):
+			canon, err := c.normalizeNode(a)
+			if err != nil {
+				return err
+			}
+			node = canon
+		default:
+			files = append(files, a)
+		}
+	}
+	usage := "usage: admit <file.xml> [more.xml ...] -dry"
+	if c.sys == nil {
+		usage = "usage: admit <node> <file.xml> [more.xml ...] -dry"
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("%s", usage)
+	}
+	if !dry {
+		return fmt.Errorf("%s (admission is a dry run; deploy applies a bundle)", usage)
+	}
+	srcs := make([]string, 0, len(files))
+	for _, path := range files {
+		data, err := c.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, string(data))
+	}
+	var (
+		p   *plan.Plan
+		err error
+	)
+	tag := ""
+	if c.sys != nil {
+		p, err = c.sys.CompilePlan(srcs)
+	} else {
+		if node == "" {
+			return fmt.Errorf("%s", usage)
+		}
+		tag = "[" + node + "] "
+		id, perr := parseNodeID(node, c.cl.Nodes())
+		if perr != nil {
+			return perr
+		}
+		descs, perr := descriptor.ParseAll(srcs)
+		if perr != nil {
+			return perr
+		}
+		p, err = c.cl.Node(id).DRCR().CompilePlan(descs)
+	}
+	if err != nil {
+		return err
+	}
+	verdicts := make(map[string]string, len(p.Admissions))
+	for _, a := range p.Admissions {
+		verdicts[a.Name] = a.Verdict
+	}
+	fmt.Fprintf(c.out, "%sadmit (dry run): %d components, %d schedulable, %d stochastic verdicts\n",
+		tag, len(p.Components), len(p.Schedule), len(p.Admissions))
+	for _, name := range p.Schedule {
+		if v, ok := verdicts[name]; ok {
+			fmt.Fprintf(c.out, "%s  %-8s %s\n", tag, name, v)
+		} else {
+			fmt.Fprintf(c.out, "%s  %-8s constant budget (deterministic admission)\n", tag, name)
+		}
+	}
+	for _, d := range p.Deltas {
+		fmt.Fprintf(c.out, "%s  cpu%d: %.3f -> %.3f (%+.3f)\n", tag, d.CPU, d.Before, d.After, d.Delta)
+	}
+	for _, lo := range p.Leftovers {
+		fmt.Fprintf(c.out, "%s  leftover: %s waits on inport %s\n", tag, lo.Name, lo.Missing)
+	}
+	if p.Fallback != "" {
+		fmt.Fprintf(c.out, "%s  fallback: %s (deploy would take the event path)\n", tag, p.Fallback)
+	}
 	return nil
 }
 

@@ -404,3 +404,91 @@ quit
 		t.Error("plan command deployed something")
 	}
 }
+
+const stochConsoleXML = `<component name="stoch" type="periodic" cpuusage="0.3">
+  <implementation bincode="demo.Stoch"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="normal(0.3,0.02)" p="0.97"/>
+  <mode name="eco" frequence="250" cpuusage="0.15"/>
+  <property name="drcom.exectime.us" type="Integer" value="300"/>
+</component>`
+
+// TestSessionAdmitDryRun pins the admit command: it renders the
+// compile-time Monte-Carlo verdicts without deploying, refuses to run
+// without -dry, and its verdict matches what the runtime admit emits.
+func TestSessionAdmitDryRun(t *testing.T) {
+	c, out := newConsole(t)
+	prev := c.ReadFile
+	c.ReadFile = func(path string) ([]byte, error) {
+		if path == "stoch.xml" {
+			return []byte(stochConsoleXML), nil
+		}
+		return prev(path)
+	}
+	if err := c.Run(strings.NewReader(`
+admit stoch.xml -dry
+admit stoch.xml
+list
+`)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"admit (dry run): 1 components, 1 schedulable, 1 stochastic verdicts",
+		"meets p=0.970",
+		"cpu0: 0.000 -> 0.300 (+0.300)",
+		"error: usage: admit <file.xml> [more.xml ...] -dry (admission is a dry run; deploy applies a bundle)",
+		"0 components", // the dry run must not have deployed anything
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestSessionForecast pins the forecast command: with a predictive guard
+// attached, a budget-declaring component gets a forecast row; without a
+// guard the command explains itself.
+func TestSessionForecast(t *testing.T) {
+	c, out := newConsole(t)
+	prev := c.ReadFile
+	c.ReadFile = func(path string) ([]byte, error) {
+		if path == "stoch.xml" {
+			return []byte(stochConsoleXML), nil
+		}
+		return prev(path)
+	}
+	if c.Exec("forecast"); !strings.Contains(out.String(), "no contract guard attached") {
+		t.Fatalf("guardless forecast did not explain itself:\n%s", out.String())
+	}
+	g, err := contract.New(c.sys.DRCR(), contract.Options{Predict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.AttachGuard("", g)
+	if err := c.Run(strings.NewReader(`
+deploy stoch.xml
+run 300ms
+forecast
+forecast stoch
+forecast nosuch
+`)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if n := strings.Count(got, "stoch    P(miss)="); n != 2 {
+		t.Errorf("want 2 forecast rows for stoch (bare + filtered), got %d:\n%s", n, got)
+	}
+	for _, want := range []string{
+		"allowed=0.030", // 1 - declared p
+		"armed",
+		"no forecasts yet", // the nosuch filter matches nothing
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -49,6 +49,23 @@ type Options struct {
 	// Observe makes the guard record violations without revoking budgets
 	// (monitoring-only mode, the ablation baseline).
 	Observe bool
+	// Predict enables the forecasting estimator: a component that
+	// declares a distribution-valued budget gets a windowed
+	// mean/variance + log2-histogram-tail estimator over its measured
+	// utilization; when the projected miss probability over the next
+	// PredictLead windows exceeds its allowance (1 − declared p), the
+	// guard steps it down its mode ladder before the hard miss.
+	Predict bool
+	// PredictWindow is how many check windows the estimator remembers
+	// (default 12).
+	PredictWindow int
+	// PredictLead is how many windows ahead the utilization trend is
+	// projected (default 4).
+	PredictLead int
+	// RearmBand is the forecast hysteresis: after a forecast fires, the
+	// estimator stays disarmed until the miss probability drops below
+	// allowance×band (default 0.5), so a hovering forecast cannot flap.
+	RearmBand float64
 }
 
 func (o *Options) applyDefaults() {
@@ -76,6 +93,15 @@ func (o *Options) applyDefaults() {
 	if o.HealthyReset <= 0 {
 		o.HealthyReset = 16
 	}
+	if o.PredictWindow <= 0 {
+		o.PredictWindow = 12
+	}
+	if o.PredictLead <= 0 {
+		o.PredictLead = 4
+	}
+	if o.RearmBand <= 0 || o.RearmBand >= 1 {
+		o.RearmBand = 0.5
+	}
 }
 
 // maxBackoff caps the quarantine growth at 16× the base quarantine.
@@ -96,6 +122,15 @@ type monitor struct {
 	// quarSpan is the quarantine span opened at revocation; the eventual
 	// restore chains to it.
 	quarSpan obs.SpanID
+	// lastUtil is the utilization measured over the last check window;
+	// utilValid is false right after a counter reset.
+	lastUtil  float64
+	utilValid bool
+	// pred is the forecasting estimator, created lazily for
+	// budget-declaring components when Options.Predict is on; a
+	// downgrade or revocation swaps the task, so the estimator restarts
+	// with it.
+	pred *predictor
 }
 
 type portState struct {
@@ -110,6 +145,7 @@ type Guard struct {
 	opts Options
 
 	mons       map[string]*monitor
+	forecasts  map[string]Forecast
 	violations []Violation
 	trace      []Record
 	listeners  []func(Violation)
@@ -202,12 +238,24 @@ func (g *Guard) schedule() error {
 	return nil
 }
 
+// action is one enforcement decision collected during the detection
+// sweep and applied after it, so simultaneous violations in one window
+// step down in deterministic name order (like re-promotion) instead of
+// whatever order detection happened to interleave enforcement in.
+type action struct {
+	name     string
+	reason   string
+	cause    obs.SpanID
+	forecast bool // predictive step-down: only ever spends ladder rungs
+}
+
 // CheckNow runs one monitoring pass immediately and returns the
 // violations it detected.
 func (g *Guard) CheckNow() []Violation {
 	k := g.d.Kernel()
 	now := k.Now()
 	var fired []Violation
+	var acts []action
 	for _, info := range g.d.Components() {
 		m := g.mons[info.Name]
 		if m == nil {
@@ -275,48 +323,16 @@ func (g *Guard) CheckNow() []Violation {
 		fired = append(fired, vs...)
 		if len(vs) > 0 {
 			if !g.opts.Observe {
-				reason := fmt.Sprintf("%v: %s", vs[0].Kind, vs[0].Detail)
-				// Graceful degradation first: a component with a cheaper
-				// declared mode steps down and stays available; only a
-				// violation in its last mode escalates to revocation. The
-				// hold before re-promotion reuses the quarantine backoff.
-				if info.Mode+1 < len(info.Modes) {
-					m.modeHold = g.opts.Quarantine * m.backoff
-					if m.backoff < maxBackoff {
-						m.backoff *= g.opts.BackoffFactor
-						if m.backoff > maxBackoff {
-							m.backoff = maxBackoff
-						}
-					}
-					m.healthy = 0
-					m.overWindows = 0
-					// The swap recreates the task and its counters; restart
-					// the measurement window.
-					m.lastConsumed, m.lastMisses, m.lastSkips = 0, 0, 0
-					m.ports = map[string]*portState{}
-					g.record(now, "downgrade", info.Name, reason)
-					plane.PushCause(firstVid)
-					_ = g.d.Downgrade(info.Name, reason)
-					plane.PopCause()
-					continue
-				}
-				m.revokedByUs = true
-				m.quarantine = g.opts.Quarantine * m.backoff
-				if m.backoff < maxBackoff {
-					m.backoff *= g.opts.BackoffFactor
-					if m.backoff > maxBackoff {
-						m.backoff = maxBackoff
-					}
-				}
-				m.healthy = 0
-				m.overWindows = 0
-				g.record(now, "revoke", info.Name, reason)
-				// The revocation and its cascade chain to the violation.
-				plane.PushCause(firstVid)
-				_ = g.d.RevokeBudget(info.Name, reason)
-				m.quarSpan = plane.Quarantine(now, info.Name, int64(m.quarantine), 0)
-				plane.PopCause()
+				acts = append(acts, action{
+					name:   info.Name,
+					reason: fmt.Sprintf("%v: %s", vs[0].Kind, vs[0].Detail),
+					cause:  firstVid,
+				})
 			}
+			continue
+		}
+		if a, ok := g.predictStep(now, info, m); ok {
+			acts = append(acts, a)
 			continue
 		}
 		m.healthy++
@@ -324,7 +340,75 @@ func (g *Guard) CheckNow() []Violation {
 			m.backoff = 1
 		}
 	}
+	// Enforce after the sweep. Components() is name-sorted and each
+	// component contributes at most one action, so the collection order
+	// IS name order: simultaneous violations step down deterministically.
+	for _, a := range acts {
+		g.enforce(now, a)
+	}
 	return fired
+}
+
+// enforce applies one collected enforcement action: graceful degradation
+// first — a component with a cheaper declared mode steps down and stays
+// available; only a violation in its last mode escalates to revocation.
+// The hold before re-promotion reuses the quarantine backoff.
+func (g *Guard) enforce(now sim.Time, a action) {
+	info, ok := g.d.Component(a.name)
+	if !ok || info.State != core.Active {
+		return
+	}
+	m := g.mons[a.name]
+	if m == nil {
+		return
+	}
+	plane := g.d.Obs()
+	if info.Mode+1 < len(info.Modes) {
+		m.modeHold = g.opts.Quarantine * m.backoff
+		g.bumpBackoff(m)
+		m.healthy = 0
+		m.overWindows = 0
+		// The swap recreates the task and its counters; restart the
+		// measurement window (and the estimator with it).
+		m.lastConsumed, m.lastMisses, m.lastSkips = 0, 0, 0
+		m.ports = map[string]*portState{}
+		m.pred = nil
+		m.utilValid = false
+		verb := "downgrade"
+		if a.forecast {
+			verb = "predict-downgrade"
+		}
+		g.record(now, verb, a.name, a.reason)
+		plane.PushCause(a.cause)
+		_ = g.d.Downgrade(a.name, a.reason)
+		plane.PopCause()
+		return
+	}
+	if a.forecast {
+		// A forecast never revokes: prediction only spends ladder rungs,
+		// the reactive path keeps the last-mode escalation.
+		return
+	}
+	m.revokedByUs = true
+	m.quarantine = g.opts.Quarantine * m.backoff
+	g.bumpBackoff(m)
+	m.healthy = 0
+	m.overWindows = 0
+	g.record(now, "revoke", a.name, a.reason)
+	// The revocation and its cascade chain to the violation.
+	plane.PushCause(a.cause)
+	_ = g.d.RevokeBudget(a.name, a.reason)
+	m.quarSpan = plane.Quarantine(now, a.name, int64(m.quarantine), 0)
+	plane.PopCause()
+}
+
+func (g *Guard) bumpBackoff(m *monitor) {
+	if m.backoff < maxBackoff {
+		m.backoff *= g.opts.BackoffFactor
+		if m.backoff > maxBackoff {
+			m.backoff = maxBackoff
+		}
+	}
 }
 
 // checkActive evaluates one active component's measured behaviour against
@@ -339,6 +423,7 @@ func (g *Guard) checkActive(now sim.Time, info core.Info, m *monitor, task *rtos
 	if met.Consumed < m.lastConsumed || met.Misses < m.lastMisses || met.Skips < m.lastSkips {
 		m.lastConsumed, m.lastMisses, m.lastSkips = met.Consumed, met.Misses, met.Skips
 		m.overWindows = 0
+		m.utilValid = false
 		return nil
 	}
 
@@ -350,6 +435,7 @@ func (g *Guard) checkActive(now sim.Time, info core.Info, m *monitor, task *rtos
 	// cpuusage, with tolerance for jitter and accounting granularity.
 	if info.CPUUsage > 0 {
 		util := float64(consumedDelta) / float64(g.opts.Interval)
+		m.lastUtil, m.utilValid = util, true
 		limit := info.CPUUsage * g.opts.OverrunFactor
 		if util > limit {
 			m.overWindows++

@@ -1,0 +1,232 @@
+package contract
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descriptor"
+	"repro/internal/obs"
+	"repro/internal/osgi"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// pairXML builds two identical degradable components so a single
+// inflation makes them violate in the same check window.
+func pairXML(name string) string {
+	return fmt.Sprintf(`<component name="%s" type="periodic" cpuusage="0.05">
+  <implementation bincode="demo.Noop"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <mode name="eco" frequence="250" cpuusage="0.04"/>
+  <property name="drcom.exectime.us" type="Integer" value="30"/>
+</component>`, name)
+}
+
+// TestSimultaneousStepDownNameOrdered pins satellite #2: when two
+// components violate in the same window, the guard collects both and
+// steps them down in name order — the trace shows both violations first,
+// then the downgrades alphabetically at the same instant.
+func TestSimultaneousStepDownNameOrdered(t *testing.T) {
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{NumCPUs: 2, Seed: 5})
+	d, err := core.New(fw, k, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if err := d.RegisterBody("demo.Noop", func(*descriptor.Component) rtos.Body {
+		return func(*rtos.JobContext) {}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inflate := func(e core.Event) {
+		if e.To == core.Active {
+			if task, ok := k.Task(e.Component); ok {
+				task.SetExecScale(4)
+			}
+		}
+	}
+	d.AddListener(inflate)
+	// Deploy in reverse alphabetical order so any insertion-order
+	// dependence would surface as beta-before-alpha.
+	for _, src := range []string{pairXML("beta"), pairXML("alpha")} {
+		desc, err := descriptor.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Deploy(desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := New(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var downs []Record
+	for _, r := range g.Trace() {
+		if r.Action == "downgrade" {
+			downs = append(downs, r)
+		}
+	}
+	if len(downs) < 2 {
+		t.Fatalf("downgrades = %v, want both components stepped down", downs)
+	}
+	if downs[0].Component != "alpha" || downs[1].Component != "beta" {
+		t.Fatalf("step-down order = [%s %s], want name order [alpha beta]",
+			downs[0].Component, downs[1].Component)
+	}
+	if downs[0].At != downs[1].At {
+		t.Fatalf("expected simultaneous downgrades, got %v and %v", downs[0].At, downs[1].At)
+	}
+}
+
+// predictCalcXML declares a stochastic budget and an eco fallback. Exec
+// sits at 55% of the period, the reactive limit at 82.5% (×1.5), and the
+// 5% per-release exec jitter makes hard misses set in around 88–95%: a
+// steep drift crosses limit and miss onset within a couple of check
+// windows — too fast for the two-window reactive confirmation, but the
+// trend projection sees it PredictLead windows out.
+const predictCalcXML = `<component name="calc" type="periodic" cpuusage="0.55">
+  <implementation bincode="demo.Noop"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="normal(0.55,0.03)" p="0.97"/>
+  <mode name="eco" frequence="250" cpuusage="0.25"/>
+  <property name="drcom.exectime.us" type="Integer" value="550"/>
+</component>`
+
+func predictRig(t *testing.T, seed uint64) (*rtos.Kernel, *core.DRCR) {
+	t.Helper()
+	fw := osgi.NewFramework()
+	k := rtos.NewKernel(rtos.Config{Seed: seed})
+	d, err := core.New(fw, k, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if err := d.RegisterBody("demo.Noop", func(*descriptor.Component) rtos.Body {
+		return func(*rtos.JobContext) {}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	desc, err := descriptor.Parse(predictCalcXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(desc); err != nil {
+		t.Fatal(err)
+	}
+	return k, d
+}
+
+// rampScale schedules a linear exec-scale ramp on the sim clock: from 1
+// up to factor, in 10 ms steps over window, starting at from.
+func rampScale(t *testing.T, k *rtos.Kernel, name string, from, window time.Duration, factor float64) {
+	t.Helper()
+	steps := int(window / (10 * time.Millisecond))
+	for i := 0; i < steps; i++ {
+		scale := 1 + (factor-1)*float64(i+1)/float64(steps)
+		_, err := k.Clock().After(from+time.Duration(i)*10*time.Millisecond, "test:ramp",
+			func(sim.Time) {
+				if task, ok := k.Task(name); ok {
+					task.SetExecScale(scale)
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPredictiveDowngradeBeforeMiss drives a slow execution drift into a
+// budget-declaring component: the forecast must fire and step it down to
+// eco before the kernel records a single deadline miss.
+func TestPredictiveDowngradeBeforeMiss(t *testing.T) {
+	k, d := predictRig(t, 5)
+	// Quarantine 64 holds the step-down past the end of the run: the
+	// final-state assertion below wants calc still parked in eco.
+	g, err := New(d, Options{Predict: true, Quarantine: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rampScale(t, k, "calc", 500*time.Millisecond, 150*time.Millisecond, 2.2)
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var sawForecast, sawPredictDown bool
+	for _, r := range g.Trace() {
+		switch r.Action {
+		case "forecast":
+			sawForecast = true
+			if !strings.Contains(r.Detail, "forecast P(miss)=") {
+				t.Errorf("forecast detail %q", r.Detail)
+			}
+		case "predict-downgrade":
+			sawPredictDown = true
+		}
+	}
+	if !sawForecast || !sawPredictDown {
+		t.Fatalf("trace missing forecast/predict-downgrade: %v", g.Trace())
+	}
+	if task, ok := k.Task("calc"); ok {
+		if m := task.Metrics(); m.Misses > 0 || m.Skips > 0 {
+			t.Errorf("hard misses despite predictive downgrade: %+v", m)
+		}
+	}
+	info, _ := d.Component("calc")
+	if info.State != core.Active || info.Mode == 0 {
+		t.Errorf("calc = %v mode %d, want ACTIVE in a degraded mode", info.State, info.Mode)
+	}
+	var forecastSpans int
+	for _, s := range d.Obs().Spans() {
+		if s.Kind == obs.KindForecast && s.Component == "calc" {
+			forecastSpans++
+		}
+	}
+	if forecastSpans == 0 {
+		t.Error("no KindForecast span emitted")
+	}
+}
+
+// TestStationaryWorkloadNeverForecastDowngrades pins the hysteresis /
+// false-positive side of satellite #4: with no drift, across seeds, the
+// estimator must stay quiet for the whole run.
+func TestStationaryWorkloadNeverForecastDowngrades(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		k, d := predictRig(t, seed)
+		g, err := New(d, Options{Predict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range g.Trace() {
+			if r.Action == "forecast" || r.Action == "predict-downgrade" {
+				t.Fatalf("seed %d: stationary workload triggered %s: %s", seed, r.Action, r.Detail)
+			}
+		}
+		fs := g.Forecasts()
+		if len(fs) != 1 || fs[0].Component != "calc" {
+			t.Fatalf("seed %d: forecasts = %+v", seed, fs)
+		}
+		if f := fs[0]; !f.Armed || f.PMiss > f.Allowed {
+			t.Fatalf("seed %d: estimator state %+v, want armed and quiet", seed, f)
+		}
+		g.Stop()
+	}
+}

@@ -174,6 +174,10 @@ type Component struct {
 	mode      int
 	promoHold bool
 	admitNote string
+	// admitVerdict carries the admitting decision's reason into
+	// activation for components with distribution-valued budgets, where
+	// it becomes the admit span's detail. Empty otherwise.
+	admitVerdict string
 
 	// wait records the last resolution failure mode (worklist engine).
 	wait waitKind
@@ -241,6 +245,11 @@ type Info struct {
 	// OutPorts lists the component's declared outports (name and
 	// transport), so external monitors can watch port freshness.
 	OutPorts []PortInfo
+	// BudgetDist is the declared stochastic budget in canonical dist
+	// grammar ("" for constant-budget components) and BudgetP its
+	// declared deadline-met probability.
+	BudgetDist string
+	BudgetP    float64
 }
 
 // ModeInfo is a read-only declared-mode snapshot with inherited fields
@@ -600,6 +609,10 @@ func (d *DRCR) infoLocked(c *Component) Info {
 	if c.bundle != nil {
 		info.Bundle = c.bundle.SymbolicName()
 	}
+	if c.desc.Budget != nil {
+		info.BudgetDist = c.desc.Budget.String()
+		info.BudgetP = c.desc.BudgetP
+	}
 	for _, out := range c.desc.OutPorts {
 		info.OutPorts = append(info.OutPorts, PortInfo{Name: out.Name, Interface: string(out.Interface)})
 	}
@@ -643,6 +656,9 @@ func (d *DRCR) viewLocked() policy.View {
 			v.Admitted = make([]policy.Contract, len(d.admitted))
 			for i, ct := range d.admitted {
 				v.Admitted[i] = *ct
+				if ct.Budget != nil {
+					v.Stochastic = true
+				}
 			}
 		}
 		if load := d.loadLocked(); len(load) > 0 {
@@ -880,6 +896,8 @@ func contractOf(desc *descriptor.Component) policy.Contract {
 		Priority:   desc.Priority(),
 		CPUUsage:   desc.CPUUsage,
 		Importance: desc.Importance,
+		Budget:     desc.Budget,
+		MetP:       desc.BudgetP,
 	}
 	if desc.Periodic != nil {
 		ct.Period = desc.Periodic.Period()
@@ -889,11 +907,16 @@ func contractOf(desc *descriptor.Component) policy.Contract {
 
 // contractAt is the contract a component promises in service mode m:
 // contractOf for mode 0, the mode's declared budget and rate otherwise.
+// Degraded modes promise their constant declared budget — the
+// distribution refines only the full contract, so stepping down always
+// shrinks the admission question.
 func contractAt(desc *descriptor.Component, mode int) policy.Contract {
 	ct := contractOf(desc)
 	if mode > 0 {
 		m := desc.ModeSpec(mode)
 		ct.CPUUsage = m.CPUUsage
+		ct.Budget = nil
+		ct.MetP = 0
 		if desc.Periodic != nil {
 			ct.Period = m.Period()
 		}

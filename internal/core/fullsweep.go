@@ -98,8 +98,12 @@ func (d *DRCR) resolveOnce() (changed bool) {
 		}
 		c.mode = mode
 		c.admitNote = note
+		if c.desc.Budget != nil {
+			c.admitVerdict = decision.Verdict
+		}
 		if err := d.activateLocked(c); err != nil {
 			c.mode = 0
+			c.admitVerdict = ""
 			c.lastReason = "activation failed: " + err.Error()
 			d.mu.Unlock()
 			continue

@@ -365,6 +365,15 @@ func (d *DRCR) activateLocked(c *Component) error {
 	c.ownedSHM = createdSHM
 	c.ownedBoxes = createdBoxes
 	d.setStateLocked(c, Active, "admitted and activated")
+	if c.admitVerdict != "" {
+		// A stochastic contract was admitted: pin the Monte-Carlo verdict
+		// in the span stream so `why` explains the probability that let it
+		// in. Constant-budget components never set admitVerdict, keeping
+		// legacy digests untouched.
+		c.lastSpan = d.obs.AdmitVerdict(d.kernel.Now(), c.desc.Name,
+			c.desc.ModeName(c.mode), c.admitVerdict, c.lastSpan)
+		c.admitVerdict = ""
+	}
 	if c.mode > 0 {
 		// Admitted below the full contract: downgrade-before-deny. The
 		// span chains to the activation so `why` explains the shortfall.
@@ -423,6 +432,7 @@ func (d *DRCR) deactivateLocked(c *Component, reason string) {
 	c.bindings = map[string]string{}
 	c.mode = 0
 	c.promoHold = false
+	c.admitVerdict = ""
 	c.lastReason = reason
 }
 

@@ -301,8 +301,12 @@ func (d *DRCR) tryActivateLocked(i int) bool {
 		return changed
 	}
 	c.mode = mode
+	if c.desc.Budget != nil {
+		c.admitVerdict = decision.Verdict
+	}
 	if err := d.activateLocked(c); err != nil {
 		c.mode = 0
+		c.admitVerdict = ""
 		c.lastReason = "activation failed: " + err.Error()
 		c.wait = waitAdmission
 		return changed
@@ -543,6 +547,9 @@ func (d *DRCR) promotionViewLocked(c *Component) policy.View {
 		if ct.Name == name {
 			self = ct
 			continue
+		}
+		if ct.Budget != nil {
+			v.Stochastic = true
 		}
 		v.Admitted = append(v.Admitted, ct)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/manifest"
+	"repro/internal/policy"
 	"repro/internal/rtos/ipc"
 )
 
@@ -237,7 +238,18 @@ type Component struct {
 	// direction of the paper's §6 "more powerful component description
 	// language": adaptation managers use it to pick victims under
 	// overload.
-	Importance     int
+	Importance int
+	// Budget, when non-nil, refines CPUUsage into a distribution-valued
+	// stochastic contract (the optional <budget dist="normal(mu,sigma)"
+	// p="0.99"/> element): admission then asks that the composed load on
+	// the component's CPU stay under the bound with probability ≥
+	// BudgetP, instead of comparing constants. CPUUsage stays the
+	// declared nominal fraction.
+	Budget *policy.Dist
+	// BudgetP is the declared deadline-met probability in (0,1);
+	// policy.DefaultMetP when the budget element omits the p attribute.
+	// Zero when Budget is nil.
+	BudgetP        float64
 	Implementation string // the "bincode" implementation class
 	Periodic       *PeriodicSpec
 	Aperiodic      *AperiodicSpec
@@ -321,6 +333,11 @@ type xmlComponent struct {
 		RunOnCPU string `xml:"runoncpu,attr"`
 		Priority string `xml:"priority,attr"`
 	} `xml:"aperiodictask"`
+
+	Budget *struct {
+		Dist string `xml:"dist,attr"`
+		P    string `xml:"p,attr"`
+	} `xml:"budget"`
 
 	OutPorts []xmlPort `xml:"outport"`
 	InPorts  []xmlPort `xml:"inport"`
@@ -425,6 +442,27 @@ func Parse(src string) (*Component, error) {
 		c.Aperiodic = spec
 	default:
 		addf("type %q must be periodic or aperiodic", xc.Type)
+	}
+
+	if xc.Budget != nil {
+		d, err := policy.ParseDist(xc.Budget.Dist)
+		if err != nil {
+			addf("budget %v", err)
+		} else {
+			c.Budget = d
+		}
+		c.BudgetP = policy.DefaultMetP
+		if ps := strings.TrimSpace(xc.Budget.P); ps != "" {
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil || !(p > 0 && p < 1) {
+				addf("budget p %q must be a probability in (0,1)", xc.Budget.P)
+			} else {
+				c.BudgetP = p
+			}
+		}
+		if c.CPUUsage <= 0 {
+			addf("budget requires a declared cpuusage (the nominal fraction the load accumulators track)")
+		}
 	}
 
 	seenPorts := map[string]bool{}

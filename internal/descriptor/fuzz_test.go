@@ -42,6 +42,48 @@ func FuzzParse(f *testing.F) {
   <implementation bincode="t.Byte"/>
   <inport name="blob" interface="RTAI.Mailbox" type="Byte" size="64" version="1.0.0" datatype="byte[16][2]"/>
 </component>`)
+	// Stochastic contracts: the <budget> distribution grammar in every
+	// family, plus malformed dist strings and out-of-range p values the
+	// parser must reject with typed errors (never a panic).
+	f.Add(`<component name="snorm" type="periodic" cpuusage="0.3">
+  <implementation bincode="s.Norm"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="normal(0.3,0.05)" p="0.99"/>
+</component>`)
+	f.Add(`<component name="slogn" type="periodic" cpuusage="0.3">
+  <implementation bincode="s.LogN"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="lognormal(-1.2,0.4)"/>
+</component>`)
+	f.Add(`<component name="semp" type="aperiodic" cpuusage="0.2">
+  <implementation bincode="s.Emp"/>
+  <budget dist="empirical(0.1:1,0.2:2,0.4:1)" p="0.95"/>
+</component>`)
+	f.Add(`<component name="sbad1" type="periodic" cpuusage="0.3">
+  <implementation bincode="s.Bad"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="weibull(1,2)" p="0.99"/>
+</component>`)
+	f.Add(`<component name="sbad2" type="periodic" cpuusage="0.3">
+  <implementation bincode="s.Bad"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="normal(0.3,-0.05)" p="0.99"/>
+</component>`)
+	f.Add(`<component name="sbad3" type="periodic" cpuusage="0.3">
+  <implementation bincode="s.Bad"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="normal(0.3,0.05)" p="1.7"/>
+</component>`)
+	f.Add(`<component name="sbad4" type="periodic" cpuusage="0.3">
+  <implementation bincode="s.Bad"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="empirical(0.1:0,:)" p="0"/>
+</component>`)
+	f.Add(`<component name="sbad5" type="periodic">
+  <implementation bincode="s.Bad"/>
+  <periodictask frequence="1000" runoncup="0" priority="1"/>
+  <budget dist="normal(0.3,0.05)" p="NaN"/>
+</component>`)
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := Parse(src)
 		if err != nil {

@@ -60,6 +60,9 @@ func (c *Component) Render() string {
 		fmt.Fprintf(&b, `  <aperiodictask runoncup="%d" priority="%d"/>`+"\n",
 			c.Aperiodic.CPU, c.Aperiodic.Priority)
 	}
+	if c.Budget != nil {
+		fmt.Fprintf(&b, `  <budget dist=%s p="%g"/>`+"\n", attr(c.Budget.String()), c.BudgetP)
+	}
 	for _, p := range c.OutPorts {
 		fmt.Fprintf(&b, `  <outport name=%s interface=%s type=%s size="%d"%s/>`+"\n",
 			attr(p.Name), attr(string(p.Interface)), attr(p.Type.String()), p.Size, typedAttrs(p))

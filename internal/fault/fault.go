@@ -53,6 +53,11 @@ const (
 	// explicit Enable) brings it back. Clearing the fault closes the open
 	// cause but does not restart the component.
 	Crash
+	// ExecDrift ramps the target task's execution scale linearly from 1
+	// up to Factor over the fault's For window in Step-spaced increments
+	// (default 10 ms) — the slow degradation a predictive monitor should
+	// catch before the first hard overrun. Clearing resets the scale.
+	ExecDrift
 )
 
 func (k Kind) String() string {
@@ -73,6 +78,8 @@ func (k Kind) String() string {
 		return "resolver-flap"
 	case Crash:
 		return "crash"
+	case ExecDrift:
+		return "exec-drift"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -89,8 +96,12 @@ type Fault struct {
 	At time.Duration
 	// For is how long the fault stays open; zero means it never clears.
 	For time.Duration
-	// Factor is the execution-time multiplier for ExecInflate (default 2).
+	// Factor is the execution-time multiplier for ExecInflate, and the
+	// ramp's final multiplier for ExecDrift (default 2).
 	Factor float64
+	// Step is the ramp increment cadence for ExecDrift (default 10 ms);
+	// other kinds ignore it.
+	Step time.Duration
 }
 
 // Campaign is a named, ordered fault script.

@@ -3,6 +3,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ldap"
@@ -107,6 +108,12 @@ func (inj *Injector) Install(c Campaign) error {
 		if err := inj.validate(f); err != nil {
 			return fmt.Errorf("fault: campaign %q: %w", c.Name, err)
 		}
+		if f.Kind == ExecDrift {
+			if err := inj.installDrift(f); err != nil {
+				return fmt.Errorf("fault: campaign %q: %w", c.Name, err)
+			}
+			continue
+		}
 		at := f.At
 		if at < 0 {
 			at = 0
@@ -131,12 +138,67 @@ func (inj *Injector) Install(c Campaign) error {
 	return nil
 }
 
+// installDrift expands an ExecDrift fault into its ramp: N Step-spaced
+// scale increments climbing linearly to Factor, then a clear at the end
+// of the window. Only the first increment and the clear enter the trace
+// and the causal plane — the ramp is one fault, not N.
+func (inj *Injector) installDrift(f Fault) error {
+	clock := inj.d.Kernel().Clock()
+	step := f.Step
+	if step <= 0 {
+		step = 10 * time.Millisecond
+	}
+	factor := f.Factor
+	if factor <= 0 {
+		factor = 2
+	}
+	at := f.At
+	if at < 0 {
+		at = 0
+	}
+	n := int(f.For / step)
+	if n < 1 {
+		n = 1
+	}
+	for k := 0; k < n; k++ {
+		first := k == 0
+		scale := 1 + (factor-1)*float64(k+1)/float64(n)
+		ev, err := clock.After(at+time.Duration(k)*step, "fault:drift:"+f.Target, func(sim.Time) {
+			now := inj.d.Kernel().Now()
+			inj.openScale[f.Target] = scale
+			inj.setScale(f.Target, scale)
+			if first {
+				detail := fmt.Sprintf("ramp to %.2f over %d steps of %v", factor, n, step)
+				inj.noteInject(now, ExecDrift, f.Target, detail)
+				inj.record(now, "inject", ExecDrift, f.Target, detail)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		inj.pending = append(inj.pending, ev)
+	}
+	ev, err := clock.After(at+f.For, "fault:clear:"+f.Kind.String(), func(sim.Time) {
+		inj.clear(f)
+	})
+	if err != nil {
+		return err
+	}
+	inj.pending = append(inj.pending, ev)
+	return nil
+}
+
 func (inj *Injector) validate(f Fault) error {
 	if f.Target == "" {
 		return errors.New("fault needs a target")
 	}
 	switch f.Kind {
 	case ExecInflate, Stall, MailboxDrop, MailboxDup, SHMFreeze, Crash:
+		return nil
+	case ExecDrift:
+		if f.For <= 0 {
+			return errors.New("exec-drift needs a ramp window (For > 0)")
+		}
 		return nil
 	case BundleStop, ResolverFlap:
 		if inj.fw == nil {
@@ -242,7 +304,7 @@ func (inj *Injector) clear(f Fault) {
 	now := inj.d.Kernel().Now()
 	plane := inj.d.Obs()
 	switch f.Kind {
-	case ExecInflate:
+	case ExecInflate, ExecDrift:
 		delete(inj.openScale, f.Target)
 		inj.setScale(f.Target, 1)
 		inj.noteClear(now, f.Kind, f.Target, "")

@@ -108,6 +108,12 @@ const (
 	KindHeal
 	KindPlace
 	KindNodeLoss
+	// Stochastic-contract kinds: Monte-Carlo admission verdicts for
+	// distribution-valued budgets, and predictive-guard miss forecasts.
+	// Appended after the federation kinds so legacy digests are
+	// untouched; neither is emitted on constant-budget paths.
+	KindAdmit
+	KindForecast
 )
 
 // kindNames is the static name table; String must stay allocation-free
@@ -136,6 +142,8 @@ var kindNames = [...]string{
 	KindHeal:         "heal",
 	KindPlace:        "place",
 	KindNodeLoss:     "node-loss",
+	KindAdmit:        "admit",
+	KindForecast:     "forecast",
 }
 
 func (k Kind) String() string {
@@ -281,7 +289,7 @@ type Plane struct {
 }
 
 // kindCount sizes the per-kind counter array (kinds are 1-based).
-const kindCount = int(KindNodeLoss) + 1
+const kindCount = int(KindForecast) + 1
 
 // counters are the subsystem-level metric accumulators.
 type counters struct {
@@ -316,6 +324,8 @@ type counters struct {
 	planCacheHits uint64
 	planApplies   uint64
 	planFallbacks uint64
+	admits        uint64
+	forecasts     uint64
 }
 
 // compCounters are the per-component metric accumulators.
@@ -755,6 +765,31 @@ func (p *Plane) NodeLoss(at sim.Time, node string, n int64, detail string, cause
 	}
 	p.c.nodeLosses++
 	return p.emit(Span{At: at, Kind: KindNodeLoss, Cause: cause, Component: node, N: n, Detail: detail})
+}
+
+// AdmitVerdict traces a Monte-Carlo admission verdict for a
+// distribution-valued budget; mode names the admitted service mode and
+// detail carries the probability estimate versus the declared p.
+// Constant-budget admissions never emit this span, keeping legacy
+// digests byte-identical.
+func (p *Plane) AdmitVerdict(at sim.Time, component, mode, detail string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.admits++
+	return p.emit(Span{At: at, Kind: KindAdmit, Cause: cause, Component: component, To: mode, Detail: detail})
+}
+
+// Forecast traces the predictive guard projecting a contract miss: the
+// estimator's predicted miss probability crossed the component's
+// declared tolerance, so the guard acts before the hard violation.
+// Why-chains hang the ensuing downgrade off this span.
+func (p *Plane) Forecast(at sim.Time, component, detail string, cause SpanID) SpanID {
+	if !p.enabled() {
+		return 0
+	}
+	p.c.forecasts++
+	return p.emit(Span{At: at, Kind: KindForecast, Cause: cause, Component: component, Detail: detail})
 }
 
 // NoteDrain counts one worklist drain (one Resolve entry).

@@ -309,7 +309,7 @@ func TestSpanString(t *testing.T) {
 }
 
 func TestKindStringExhaustive(t *testing.T) {
-	for k := KindDeploy; k <= KindNodeLoss; k++ {
+	for k := KindDeploy; k <= KindForecast; k++ {
 		if s := k.String(); strings.HasPrefix(s, "Kind(") || s == "" {
 			t.Fatalf("kind %d has no name: %q", k, s)
 		}

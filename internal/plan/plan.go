@@ -128,6 +128,14 @@ type Plan struct {
 	// declared modes stay at their cheapest) — the precomputed admission
 	// deltas per mode-ladder rung.
 	RungDeltas [][]float64
+	// Admissions records the Monte-Carlo verdict of every stochastic
+	// schedule step (members with distribution-valued budgets, or
+	// constant members joining a CPU that already carries one). Verdicts
+	// are byte-identical to the runtime's: both sides call
+	// policy.MCVerdict over the same composition. Non-empty Admissions
+	// always comes with a Fallback — the event path emits the admit
+	// spans the fast path cannot replicate.
+	Admissions []AdmitNote
 	// ExtFP fingerprints which (member, inport) pairs were satisfiable
 	// by providers outside the bundle at compile time. Apply revalidates
 	// it against the live indexes; a mismatch forces recompilation.
@@ -136,6 +144,12 @@ type Plan struct {
 	// fast-applied (degraded-only feasibility, admission denial, ...);
 	// the caller uses the per-descriptor event path instead.
 	Fallback string
+}
+
+// AdmitNote is one compile-time Monte-Carlo admission verdict.
+type AdmitNote struct {
+	Name    string
+	Verdict string
 }
 
 // PortIncompatibility is one typed port conflict: the exact port pair
@@ -637,18 +651,60 @@ func (p *Plan) compileAdmission(members map[string]*member, env Env) {
 	recompute()
 	copy(before, load)
 
+	// Stochastic steps Monte-Carlo-sample the composed per-CPU load with
+	// the shared policy sampler, so compile-time verdicts are
+	// byte-identical to the runtime's. The flag tracks whether any
+	// distribution-valued contract is in play (view or schedule prefix).
+	stochastic := env.View.Stochastic
+	if !stochastic {
+		for _, ct := range env.View.Admitted {
+			if ct.Budget != nil {
+				stochastic = true
+				break
+			}
+		}
+	}
 	for _, name := range p.Schedule {
 		desc := members[name].desc
 		cpu := desc.CPU()
-		if sum := desc.CPUUsage + load[cpu]; sum > env.Bound+admitEps {
-			p.Fallback = fmt.Sprintf("component %q would be denied at mode 0 (cpu%d budget %.3f exceeds bound %.3f)",
-				name, cpu, sum, env.Bound)
-			return
+		cand := policy.Contract{Name: name, CPU: cpu, CPUUsage: desc.CPUUsage,
+			Budget: desc.Budget, MetP: desc.BudgetP}
+		handled := false
+		if stochastic || cand.Budget != nil {
+			var onCPU []policy.Contract
+			for _, ct := range admitted {
+				if ct.CPU == cpu {
+					onCPU = append(onCPU, ct)
+				}
+			}
+			if v, ok := policy.MCVerdict(env.Bound, load[cpu], onCPU, cand); ok {
+				dec := v.Decision(cpu, env.Bound)
+				if cand.Budget != nil {
+					// Only budget-declaring members get an admit span at
+					// runtime; mirror that so notes and spans line up 1:1.
+					p.Admissions = append(p.Admissions, AdmitNote{Name: name, Verdict: dec.Reason})
+				}
+				if !dec.Admit {
+					p.Fallback = fmt.Sprintf("component %q would be denied at mode 0 (%s)", name, dec.Reason)
+					return
+				}
+				handled = true
+			}
+		}
+		if !handled {
+			if sum := desc.CPUUsage + load[cpu]; sum > env.Bound+admitEps {
+				p.Fallback = fmt.Sprintf("component %q would be denied at mode 0 (cpu%d budget %.3f exceeds bound %.3f)",
+					name, cpu, sum, env.Bound)
+				return
+			}
+		}
+		if cand.Budget != nil {
+			stochastic = true
 		}
 		i := sort.Search(len(admitted), func(i int) bool { return admitted[i].Name >= name })
 		admitted = append(admitted, policy.Contract{})
 		copy(admitted[i+1:], admitted[i:])
-		admitted[i] = policy.Contract{Name: name, CPU: cpu, CPUUsage: desc.CPUUsage}
+		admitted[i] = cand
 		recompute()
 	}
 	for cpu := 0; cpu < env.NumCPUs; cpu++ {
@@ -678,6 +734,14 @@ func (p *Plan) compileAdmission(members map[string]*member, env Env) {
 			sums[desc.CPU()] += desc.ModeSpec(rung).CPUUsage
 		}
 		p.RungDeltas = append(p.RungDeltas, sums)
+	}
+
+	if len(p.Admissions) > 0 && p.Fallback == "" {
+		// Every stochastic step admitted, but the fast path cannot
+		// replicate the admit spans the event path emits per activation —
+		// route the apply there; the compiled verdicts above are the ones
+		// the engines will reproduce.
+		p.Fallback = "stochastic budgets admit: event path carries the Monte-Carlo admit spans"
 	}
 }
 
@@ -760,6 +824,22 @@ func (p *Plan) compileEdges(members map[string]*member, names []string,
 func (p *Plan) AdmitDryRun(view policy.View, numCPUs int, bound float64) string {
 	if bound <= 0 {
 		bound = 1.0
+	}
+	// A view that has gained distribution-valued contracts since compile
+	// time decides admission by Monte-Carlo sampling, not the constant
+	// sums below; the event path must run so its verdicts (and admit
+	// spans) are the ones recorded.
+	stochastic := view.Stochastic
+	if !stochastic {
+		for _, ct := range view.Admitted {
+			if ct.Budget != nil {
+				stochastic = true
+				break
+			}
+		}
+	}
+	if stochastic {
+		return "admitted view carries stochastic budgets: the event path decides admission"
 	}
 	byName := map[string]*descriptor.Component{}
 	for _, d := range p.Components {

@@ -33,6 +33,14 @@ type Contract struct {
 	// Importance ranks the component for adaptation decisions (higher =
 	// more important; the descriptor's optional importance attribute).
 	Importance int
+	// Budget, when non-nil, declares the CPU budget as a distribution
+	// instead of the CPUUsage constant (descriptor <budget dist=...>).
+	// CPUUsage stays the declared nominal fraction — it is what the load
+	// accumulators track; the distribution refines it at admission time.
+	Budget *Dist
+	// MetP is the declared deadline-met probability for Budget
+	// (descriptor <budget p=...>); 0 means DefaultMetP.
+	MetP float64
 }
 
 // Cost returns the per-period execution budget implied by the declared
@@ -58,6 +66,11 @@ type View struct {
 	// resolvers need not rescan the contract list. Producers that do not
 	// track it leave it nil and resolvers fall back to summing Admitted.
 	CPULoad []float64
+	// Stochastic is set by producers whose admitted set may contain
+	// distribution-valued budgets. When false and the candidate carries
+	// none, Utilization takes the constant-budget fast path without
+	// scanning Admitted.
+	Stochastic bool
 }
 
 // OnCPU returns the admitted contracts pinned to the given processor.
@@ -90,6 +103,11 @@ func (v View) Load(cpuID int) float64 {
 type Decision struct {
 	Admit  bool
 	Reason string
+	// Verdict carries the Monte-Carlo admission verdict verbatim when a
+	// stochastic budget decided the admission; aggregators (Chain) rewrite
+	// Reason but must pass Verdict through so the admit span and the plan
+	// compiler render the identical string.
+	Verdict string
 }
 
 func admit(format string, args ...any) Decision {
@@ -130,6 +148,11 @@ func (u Utilization) Admit(view View, cand Contract) Decision {
 	bound := u.Bound
 	if bound <= 0 {
 		bound = 1.0
+	}
+	if cand.Budget != nil || view.Stochastic {
+		if v, ok := MCVerdict(bound, view.Load(cand.CPU), view.OnCPU(cand.CPU), cand); ok {
+			return v.Decision(cand.CPU, bound)
+		}
 	}
 	sum := cand.CPUUsage + view.Load(cand.CPU)
 	const eps = 1e-9
@@ -238,12 +261,19 @@ func (ch Chain) Name() string {
 
 // Admit implements Resolver.
 func (ch Chain) Admit(view View, cand Contract) Decision {
+	verdict := ""
 	for _, r := range ch {
-		if d := r.Admit(view, cand); !d.Admit {
+		d := r.Admit(view, cand)
+		if !d.Admit {
 			return deny("%s: %s", r.Name(), d.Reason)
 		}
+		if d.Verdict != "" {
+			verdict = d.Verdict
+		}
 	}
-	return admit("all %d resolvers admitted %s", len(ch), cand.Name)
+	out := admit("all %d resolvers admitted %s", len(ch), cand.Name)
+	out.Verdict = verdict
+	return out
 }
 
 func joinComma(ss []string) string {

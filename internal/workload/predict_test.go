@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+)
+
+// The ISSUE-10 acceptance gate, workload half: the predictive guard must
+// beat the reactive one on the same drift (strictly fewer hard misses at
+// equal-or-better availability), the campaign must be byte-deterministic
+// across reruns and shard counts, and the estimator must converge —
+// forecasting the violation strictly before the first hard miss across a
+// seed sweep while never firing on stationary seeds.
+
+// TestPredictAblation pins the headline claim: on the same seed and the
+// same drift, forecasting strictly reduces hard deadline misses without
+// giving up availability.
+func TestPredictAblation(t *testing.T) {
+	reactive, err := RunPredictCampaign(PredictConfig{Predictive: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictive, err := RunPredictCampaign(PredictConfig{Predictive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reactive.HardMisses == 0 {
+		t.Fatal("reactive baseline recorded no hard misses; the drift is not biting")
+	}
+	if predictive.HardMisses >= reactive.HardMisses {
+		t.Errorf("predictive misses = %d, want strictly fewer than reactive %d",
+			predictive.HardMisses, reactive.HardMisses)
+	}
+	if predictive.Availability < reactive.Availability {
+		t.Errorf("predictive availability %.4f < reactive %.4f",
+			predictive.Availability, reactive.Availability)
+	}
+	if predictive.ForecastAt == 0 {
+		t.Error("predictive run never forecast")
+	}
+	if predictive.PredictDowngrades == 0 {
+		t.Error("predictive run never stepped down on a forecast")
+	}
+	if reactive.ForecastAt != 0 || reactive.PredictDowngrades != 0 {
+		t.Errorf("reactive baseline forecast (at=%v, downs=%d); the ablation arms are crossed",
+			reactive.ForecastAt, reactive.PredictDowngrades)
+	}
+}
+
+// TestPredictDeterminism reruns the identical config: every digest and
+// counter must be byte-identical.
+func TestPredictDeterminism(t *testing.T) {
+	cfg := PredictConfig{Predictive: true}
+	a, err := RunPredictCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPredictCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceDigest != b.TraceDigest {
+		t.Errorf("guard trace digest differs across reruns: %s vs %s", a.TraceDigest, b.TraceDigest)
+	}
+	if a.SpanDigest != b.SpanDigest {
+		t.Errorf("span digest differs across reruns: %s vs %s", a.SpanDigest, b.SpanDigest)
+	}
+	if a.HardMisses != b.HardMisses || a.FirstMissAt != b.FirstMissAt || a.ForecastAt != b.ForecastAt {
+		t.Errorf("counters differ across reruns: %+v vs %+v", a, b)
+	}
+}
+
+// TestPredictShardInvariance runs both ablation arms sequentially and at
+// shard counts 1 and 4: the guard trace digest and the ID-free span
+// stream digest must not depend on the shard count.
+func TestPredictShardInvariance(t *testing.T) {
+	for _, predictive := range []bool{false, true} {
+		base := PredictConfig{Predictive: predictive}
+		ref, err := RunPredictCampaign(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4} {
+			cfg := base
+			cfg.Shards = shards
+			got, err := RunPredictCampaign(cfg)
+			if err != nil {
+				t.Fatalf("pred=%v shards=%d: %v", predictive, shards, err)
+			}
+			if got.TraceDigest != ref.TraceDigest {
+				t.Errorf("pred=%v shards=%d: guard trace digest %s != sequential %s",
+					predictive, shards, got.TraceDigest, ref.TraceDigest)
+			}
+			if got.StreamDigest != ref.StreamDigest {
+				t.Errorf("pred=%v shards=%d: stream digest %s != sequential %s",
+					predictive, shards, got.StreamDigest, ref.StreamDigest)
+			}
+			if got.HardMisses != ref.HardMisses {
+				t.Errorf("pred=%v shards=%d: misses %d != sequential %d",
+					predictive, shards, got.HardMisses, ref.HardMisses)
+			}
+		}
+	}
+}
+
+// TestPredictConvergenceAcrossSeeds sweeps 20 seeds: in at least 95% of
+// them the forecast must fire strictly before the run's first hard miss
+// (or prevent misses outright). One straggler is tolerated — the jitter
+// draw can put the miss onset inside the estimator's minimum window.
+func TestPredictConvergenceAcrossSeeds(t *testing.T) {
+	const seeds = 20
+	converged := 0
+	for seed := uint64(1); seed <= seeds; seed++ {
+		res, err := RunPredictCampaign(PredictConfig{Predictive: true, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok := res.ForecastAt > 0 && (res.FirstMissAt == 0 || res.ForecastAt < res.FirstMissAt)
+		if ok {
+			converged++
+		} else {
+			t.Logf("seed %d did not converge: forecastAt=%v firstMiss=%v misses=%d",
+				seed, res.ForecastAt, res.FirstMissAt, res.HardMisses)
+		}
+	}
+	if converged < seeds*95/100 {
+		t.Errorf("forecast preceded the first hard miss in only %d/%d seeds, want >= 95%%", converged, seeds)
+	}
+}
